@@ -1,0 +1,62 @@
+// Package nocs_test holds the repository-level benchmark harness: one
+// testing.B per table/figure in DESIGN.md §3. Each benchmark drives the same
+// experiment code as `nocsim -exp <ID>`, so `go test -bench=.` regenerates
+// every reported number.
+//
+// Benchmarks run the Quick configuration per iteration; the reported
+// ns/op therefore measures the *simulator*, while the experiment's own
+// tables (printed once per benchmark with -v via b.Log) report the
+// *simulated* cycles that EXPERIMENTS.md quotes.
+package nocs_test
+
+import (
+	"testing"
+
+	"nocs/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := bench.RunConfig{Seed: bench.DefaultConfig().Seed, Quick: true}
+	var last string
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.String()
+	}
+	if testing.Verbose() {
+		b.Log("\n" + last)
+	}
+}
+
+func BenchmarkT1_TDTPermissionCheck(b *testing.B)   { runExperiment(b, "T1") }
+func BenchmarkT2_StateCapacity(b *testing.B)        { runExperiment(b, "T2") }
+func BenchmarkF1_EventWakeup(b *testing.B)          { runExperiment(b, "F1") }
+func BenchmarkF2_IOPathSweep(b *testing.B)          { runExperiment(b, "F2") }
+func BenchmarkF3_SyscallMechanisms(b *testing.B)    { runExperiment(b, "F3") }
+func BenchmarkF4_VMExit(b *testing.B)               { runExperiment(b, "F4") }
+func BenchmarkF5_FPKernel(b *testing.B)             { runExperiment(b, "F5") }
+func BenchmarkF6_MicrokernelIPC(b *testing.B)       { runExperiment(b, "F6") }
+func BenchmarkF7_TailLatency(b *testing.B)          { runExperiment(b, "F7") }
+func BenchmarkF8_StartLatencyByTier(b *testing.B)   { runExperiment(b, "F8") }
+func BenchmarkF9_PriorityScheduling(b *testing.B)   { runExperiment(b, "F9") }
+func BenchmarkF10_DistributedFanout(b *testing.B)   { runExperiment(b, "F10") }
+func BenchmarkF11_UntrustedHypervisor(b *testing.B) { runExperiment(b, "F11") }
+func BenchmarkF12_StoragePath(b *testing.B)         { runExperiment(b, "F12") }
+func BenchmarkF13_CrossCoreWakeup(b *testing.B)     { runExperiment(b, "F13") }
+func BenchmarkF14_ContainerProxy(b *testing.B)      { runExperiment(b, "F14") }
+func BenchmarkF15_SchedulerReaction(b *testing.B)   { runExperiment(b, "F15") }
+func BenchmarkF16_NetstackEcho(b *testing.B)        { runExperiment(b, "F16") }
+func BenchmarkA1_SlotSweep(b *testing.B)            { runExperiment(b, "A1") }
+func BenchmarkA2_NoDMAMonitor(b *testing.B)         { runExperiment(b, "A2") }
+func BenchmarkA3_PrefetchAblation(b *testing.B)     { runExperiment(b, "A3") }
+func BenchmarkA4_StatePinning(b *testing.B)         { runExperiment(b, "A4") }
+
+// BenchmarkCoreInstructionRate measures raw simulator speed: simulated
+// instructions per host second on a tight ALU loop. This is the number that
+// bounds how big an experiment the harness can afford.
+func BenchmarkCoreInstructionRate(b *testing.B) {
+	benchmarkInstructionRate(b)
+}

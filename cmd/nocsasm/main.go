@@ -1,0 +1,107 @@
+// Command nocsasm assembles, disassembles, and optionally executes nocs
+// assembly files on a default single-core machine.
+//
+// Usage:
+//
+//	nocsasm prog.asm                 # assemble + print disassembly
+//	nocsasm -run prog.asm            # also execute ptid 0 from "main"
+//	nocsasm -run -entry boot -trace 40 prog.asm
+//	echo 'main: movi r1, 42
+//	      halt' | nocsasm -run -
+//
+// When running, the program is bound to ptid 0; r14 is left zero; execution
+// ends when the event queue drains or -max-events fire. Final register
+// state, retired-instruction count, and simulated time are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nocs/internal/asm"
+	"nocs/internal/core"
+	"nocs/internal/isa"
+	"nocs/internal/machine"
+)
+
+func main() {
+	var (
+		run       = flag.Bool("run", false, "execute the program on ptid 0")
+		entry     = flag.String("entry", "main", "entry label")
+		trace     = flag.Int("trace", 0, "print the first N executed instructions")
+		maxEvents = flag.Int("max-events", 1_000_000, "abort after this many simulation events")
+		super     = flag.Bool("supervisor", false, "start the thread in supervisor mode")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	path := flag.Arg(0)
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	prog, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("; %s: %d instructions, %d labels\n", path, prog.Len(), len(prog.Labels))
+	fmt.Print(prog.Disassemble())
+
+	if !*run {
+		return
+	}
+
+	m := machine.NewDefault()
+	c := m.Core(0)
+	var tb core.TraceBuffer
+	if *trace > 0 {
+		tb.Max = *trace
+		c.OnExec = tb.Hook()
+	}
+	if err := c.BindProgram(0, prog, *entry); err != nil {
+		fatal(err)
+	}
+	if *super {
+		c.Threads().Context(0).Regs.Mode = 1
+	}
+	if err := c.BootStart(0); err != nil {
+		fatal(err)
+	}
+	n := m.Run(*maxEvents)
+	fmt.Printf("\n; executed %d events, t=%v, retired=%d\n", n, m.Now(), c.Retired())
+	if err := m.Fatal(); err != nil {
+		fmt.Printf("; MACHINE FATAL: %v\n", err)
+	}
+	ctx := c.Threads().Context(0)
+	fmt.Printf("; ptid 0: state=%v pc=%d\n", ctx.State, ctx.Regs.PC)
+	for i := 0; i < isa.NumGPR; i++ {
+		if v := ctx.Regs.GPR[i]; v != 0 {
+			fmt.Printf(";   r%-2d = %d (%#x)\n", i, v, v)
+		}
+	}
+	for i := 0; i < isa.NumFPR; i++ {
+		if v := ctx.Regs.GetF(isa.F0 + isa.Reg(i)); v != 0 {
+			fmt.Printf(";   f%-2d = %g\n", i, v)
+		}
+	}
+	if *trace > 0 {
+		fmt.Printf("\n; trace (first %d):\n%s", *trace, tb.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command nocsim runs the reproduction experiments for "A Case Against
+// (Most) Context Switches" (HotOS '21) and prints their paper-style tables.
+//
+// Usage:
+//
+//	nocsim -list
+//	nocsim -exp F1            # one experiment
+//	nocsim -exp F1,F7,T2      # several
+//	nocsim -all               # the full suite (EXPERIMENTS.md input)
+//	nocsim -all -quick        # reduced sample counts
+//	nocsim -seed 7 -exp F7    # alternate workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nocs/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		exp    = flag.String("exp", "", "comma-separated experiment IDs (e.g. F1,T2)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced sample counts")
+		seed   = flag.Uint64("seed", bench.DefaultConfig().Seed, "workload RNG seed")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			e, _ := bench.Get(id)
+			fmt.Printf("%-4s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = bench.IDs()
+	case *exp != "":
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.RunConfig{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, id := range ids {
+		res, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		switch *format {
+		case "csv":
+			for i, t := range res.Tables {
+				fmt.Printf("# %s table %d: %s\n%s\n", res.ID, i+1, t.Title, t.CSV())
+			}
+		default:
+			fmt.Println(res)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+// Filesystem: "file systems as processes" (§2), composed all the way down.
+// Four hardware threads cooperate with nothing but monitor/mwait wakes:
+//
+//	app ptid ──mailbox──▶ FS ptid ──mailbox──▶ driver ptid ──doorbell──▶ SSD
+//	   ▲                                                                  │
+//	   └──────────────── replies propagate back the same way ◀────────────┘
+//
+// The app creates a file, writes its block, reads it back, and stats it —
+// every call a blocking synchronous operation, yet no syscall, scheduler,
+// or interrupt appears anywhere on the path.
+//
+// Run with: go run ./examples/filesystem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocs/internal/asm"
+	"nocs/internal/device"
+	"nocs/internal/fs"
+	"nocs/internal/kernel"
+	"nocs/internal/machine"
+	"nocs/internal/ukernel"
+)
+
+func main() {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	ssd, err := m.NewSSD(device.SSDConfig{
+		SQBase: 0x400000, CQBase: 0x410000,
+		DoorbellAddr: 0x9000_0000, CQTailAddr: 0x420000,
+	}, device.Signal{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bd, err := kernel.NewBlockDev(k, ssd, 0x430000, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsys, err := fs.New(k, bd, 0x640000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application: create("report.txt"), write, read, stat — blocking
+	// calls through the FS mailbox, results stored at 0x660000.
+	src := "main:\n\tmovi r14, 0x660000\n"
+	calls := []struct {
+		name string
+		op   int64
+		arg  int64
+	}{
+		{"create(\"report\")", fs.OpCreate, 0x7265706f}, // name token
+		{"write(fid)", fs.OpWrite, 0},
+		{"read(fid)", fs.OpRead, 0},
+		{"stat(fid)", fs.OpStat, 0},
+	}
+	for i, cl := range calls {
+		src += fmt.Sprintf("\tmovi r2, %d\n\tmovi r3, %d\n", cl.op, cl.arg)
+		src += ukernel.ClientCallSource(fmt.Sprintf("fs%d", i))
+		src += fmt.Sprintf("\tst [r14+%d], r1\n", i*8)
+	}
+	src += "\thalt\n"
+	prog := asm.MustAssemble("app", src)
+	if err := m.Core(0).BindProgram(0, prog, "main"); err != nil {
+		log.Fatal(err)
+	}
+	fsys.SetupClientRegs(m.Core(0).Threads().Context(0), 0)
+
+	m.Run(0) // park FS and driver
+	devTime := ssd.Config().BaseLatency + ssd.Config().PerWord*8
+	fmt.Printf("4-thread chain: app → fs → blockdev → ssd (device time %d cycles/IO)\n\n", devTime)
+	start := m.Now()
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if err := m.Fatal(); err != nil {
+		log.Fatal(err)
+	}
+
+	for i, cl := range calls {
+		fmt.Printf("  %-18s -> %d\n", cl.name, m.Mem().Read(0x660000+int64(i)*8))
+	}
+	creates, writes, reads, stats, errs := fsys.Stats()
+	bdReads, bdWrites, _, _ := bd.Stats()
+	raised, _, _, _ := m.IRQ().Stats()
+	fmt.Printf("\nfs ops: %d create, %d write, %d read, %d stat, %d errors\n",
+		creates, writes, reads, stats, errs)
+	fmt.Printf("driver: %d reads, %d writes — interrupts raised: %d\n", bdReads, bdWrites, raised)
+	fmt.Printf("total: %v for 2 block IOs + 2 metadata ops\n", m.Now()-start)
+}

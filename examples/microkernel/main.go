@@ -1,0 +1,100 @@
+// Microkernel: a file-system service isolated in its own hardware thread,
+// called through the XPC-like mailbox IPC of §2 "Faster Microkernels and
+// Container Proxies" — and the same service behind the two legacy
+// mechanisms, for comparison.
+//
+// Run with: go run ./examples/microkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocs/internal/asm"
+	"nocs/internal/kernel"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+	"nocs/internal/ukernel"
+)
+
+const calls = 100
+
+func main() {
+	fmt.Printf("FS service: %d calls of 800 cycles each, three IPC mechanisms\n\n", calls)
+
+	legacyClient := asm.MustAssemble("client", fmt.Sprintf(`
+main:
+	movi r7, 0
+loop:
+	movi r1, 10     ; SYS_fs
+	movi r2, 1      ; op = read
+	mov r3, r7      ; arg = block number
+	syscall
+	addi r7, r7, 1
+	movi r8, %d
+	blt r7, r8, loop
+	halt
+`, calls))
+
+	// Mechanism 1: service compiled into the kernel (monolithic).
+	{
+		m := machine.NewDefault()
+		k := kernel.NewLegacy(m.Core(0))
+		ukernel.RegisterMonolithic(k, 10, ukernel.FSWork)
+		m.Core(0).BindProgram(0, legacyClient, "main")
+		m.Core(0).BootStart(0)
+		m.Run(0)
+		fmt.Printf("%-34s %8.1f cycles/call\n", "monolithic syscall:", float64(m.Now())/calls)
+	}
+
+	// Mechanism 2: service as a process, scheduler-mediated IPC.
+	{
+		m := machine.NewDefault()
+		k := kernel.NewLegacy(m.Core(0))
+		ukernel.RegisterLegacyIPC(k, 10, ukernel.LegacyIPCCosts{}, ukernel.FSWork)
+		m.Core(0).BindProgram(0, legacyClient, "main")
+		m.Core(0).BootStart(0)
+		m.Run(0)
+		fmt.Printf("%-34s %8.1f cycles/call\n", "microkernel via scheduler:", float64(m.Now())/calls)
+	}
+
+	// Mechanism 3: service in its own hardware thread, direct mailbox IPC.
+	{
+		m := machine.NewDefault()
+		k := kernel.NewNocs(m.Core(0))
+		svc, err := ukernel.NewMailboxService(k, "fs", 0xB00000, 1, ukernel.FSWork)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := fmt.Sprintf(`
+main:
+	movi r7, 0
+loop:
+	movi r2, 1
+	mov r3, r7
+%s
+	addi r7, r7, 1
+	movi r8, %d
+	blt r7, r8, loop
+	halt
+`, ukernel.ClientCallSource("fs"), calls)
+		client := asm.MustAssemble("client", src)
+		if err := m.Core(0).BindProgram(0, client, "main"); err != nil {
+			log.Fatal(err)
+		}
+		svc.SetupClientRegs(m.Core(0).Threads().Context(0), 0)
+		m.Run(0) // park the service
+		start := m.Now()
+		m.Core(0).BootStart(0)
+		m.RunUntil(start + sim.Cycles(calls)*50000)
+		if err := m.Fatal(); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := m.Core(0).Threads().Context(0).LastHalt - start
+		fmt.Printf("%-34s %8.1f cycles/call   (service handled %d)\n",
+			"direct hw-thread mailbox:", float64(elapsed)/calls, svc.Calls())
+	}
+
+	fmt.Println("\nThe hardware-thread service keeps microkernel isolation while")
+	fmt.Println("beating even the monolithic build — no mode switch, no scheduler.")
+}

@@ -1,0 +1,160 @@
+// Netserver: the paper's "Fast I/O without Inefficient Polling" story as a
+// runnable comparison. A NIC delivers a Poisson stream of packets by DMA;
+// three server builds process them:
+//
+//   - legacy: interrupt-driven — every packet batch costs an IRQ-context
+//     entry/exit on the victim core;
+//   - polling: a dedicated thread spins on the RX tail (fast, but the
+//     thread never sleeps);
+//   - nocs: a hardware thread mwait-blocked on the RX tail wakes in tens of
+//     cycles per batch, and costs nothing while idle.
+//
+// Run with: go run ./examples/netserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocs/internal/asm"
+	"nocs/internal/core"
+	"nocs/internal/device"
+	"nocs/internal/hwthread"
+	"nocs/internal/irq"
+	"nocs/internal/kernel"
+	"nocs/internal/machine"
+	"nocs/internal/metrics"
+	"nocs/internal/sim"
+	"nocs/internal/workload"
+)
+
+const (
+	packets   = 2000
+	perPacket = sim.Cycles(1200) // protocol processing per packet
+	loadFrac  = 0.6
+)
+
+func nic(m *machine.Machine, sig device.Signal) *device.NIC {
+	return m.NewNIC(device.NICConfig{
+		RingBase: 0x100000, BufBase: 0x200000,
+		TailAddr: 0x300000, HeadAddr: 0x300008,
+	}, sig)
+}
+
+func arrivals(m *machine.Machine, n *device.NIC) []sim.Cycles {
+	rng := sim.NewRNG(7)
+	arr := workload.NewPoissonArrivals(float64(perPacket)/loadFrac, rng)
+	times := make([]sim.Cycles, packets)
+	at := sim.Cycles(1000)
+	for i := 0; i < packets; i++ {
+		at += arr.Next()
+		i := i
+		m.Engine().At(at, "pkt", func() { times[i] = n.Deliver([]int64{int64(i)}) })
+	}
+	return times
+}
+
+func summarize(name string, h *metrics.Histogram, extra string) {
+	p50, p99, _, mean := h.Summary()
+	fmt.Printf("%-10s  p50 %6d cyc (%6.1f ns)   p99 %6d   mean %8.1f   %s\n",
+		name, p50, sim.Cycles(p50).Nanos(0), p99, mean, extra)
+}
+
+func main() {
+	fmt.Printf("%d packets, Poisson arrivals at %.0f%% of one-thread capacity, %d cycles/packet\n\n",
+		packets, loadFrac*100, perPacket)
+
+	// --- nocs: mwait hardware thread ---
+	{
+		m := machine.NewDefault()
+		k := kernel.NewNocs(m.Core(0))
+		n := nic(m, device.Signal{})
+		h := metrics.NewHistogram()
+		var times []sim.Cycles
+		if _, err := k.ServeDevice("rx", n.TailAddr(), 0x300008, perPacket,
+			func(seq int64, at sim.Cycles) {
+				if times[seq] > 0 {
+					h.RecordCycles(at - times[seq])
+				}
+			}); err != nil {
+			log.Fatal(err)
+		}
+		times = arrivals(m, n)
+		m.Run(0)
+		if err := m.Fatal(); err != nil {
+			log.Fatal(err)
+		}
+		raised, _, _, _ := m.IRQ().Stats()
+		summarize("nocs", h, fmt.Sprintf("interrupts: %d, machine instrs: %d", raised, m.Retired()))
+	}
+
+	// --- legacy: interrupt-driven ---
+	{
+		m := machine.NewDefault()
+		k := kernel.NewLegacy(m.Core(0))
+		n := nic(m, device.Signal{IRQ: m.IRQ(), Vector: 33})
+		h := metrics.NewHistogram()
+		var times []sim.Cycles
+		if err := k.ServeNICWithIRQ(m.IRQ(), 33, 0, n.TailAddr(), 0x300008, perPacket,
+			func(seq int64, at sim.Cycles) {
+				if times[seq] > 0 {
+					h.RecordCycles(at - times[seq])
+				}
+			}); err != nil {
+			log.Fatal(err)
+		}
+		// Victim thread the IRQs preempt.
+		busy := asm.MustAssemble("busy", "main:\nloop:\n\taddi r1, r1, 1\n\tjmp loop")
+		if err := m.Core(0).BindProgram(0, busy, "main"); err != nil {
+			log.Fatal(err)
+		}
+		m.Core(0).BootStart(0)
+		times = arrivals(m, n)
+		m.RunUntil(sim.Cycles(packets) * sim.Cycles(float64(perPacket)/loadFrac) * 2)
+		raised, _, _, _ := m.IRQ().Stats()
+		summarize("legacy", h, fmt.Sprintf("interrupts: %d", raised))
+	}
+
+	// --- polling thread ---
+	{
+		m := machine.NewDefault()
+		n := nic(m, device.Signal{})
+		h := metrics.NewHistogram()
+		var times []sim.Cycles
+		lastSeen := int64(0)
+		m.Core(0).RegisterNative("poll.handle", func(c *core.Core, t *hwthread.Context) sim.Cycles {
+			tail := c.ReadWord(n.TailAddr())
+			var cost sim.Cycles
+			for seq := lastSeen; seq < tail; seq++ {
+				cost += perPacket
+				if times[seq] > 0 {
+					h.RecordCycles(c.Now() + cost - times[seq])
+				}
+			}
+			lastSeen = tail
+			c.WriteWord(0x300008, tail) // publish head for NIC flow control
+			t.Regs.GPR[3] = tail
+			return cost
+		})
+		poll := asm.MustAssemble("poll", `
+main:
+spin:
+	ld r2, [r1+0]
+	beq r2, r3, spin
+	native poll.handle
+	jmp spin
+`)
+		if err := m.Core(0).BindProgram(0, poll, "main"); err != nil {
+			log.Fatal(err)
+		}
+		m.Core(0).Threads().Context(0).Regs.GPR[1] = n.TailAddr()
+		m.Core(0).BootStart(0)
+		times = arrivals(m, n)
+		m.RunUntil(sim.Cycles(packets) * sim.Cycles(float64(perPacket)/loadFrac) * 2)
+		summarize("polling", h, fmt.Sprintf("machine instrs: %d (spinning)", m.Retired()))
+	}
+
+	fmt.Println("\nThe mwait hardware thread delivers near-polling latency with")
+	fmt.Println("interrupt-free operation and zero idle cost — §2's claim.")
+	_ = irq.Vector(0)
+}

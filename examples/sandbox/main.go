@@ -1,0 +1,175 @@
+// Sandbox: §2's eBPF / container-proxy story. An application hands packets
+// to an UNTRUSTED filter thread — the paper's "for eBPF, we could even relax
+// some code restrictions if it ran in its own privilege domain. Quick
+// hand-offs between hardware threads allow isolation without loss of
+// performance."
+//
+// The filter runs in user mode with an empty TDT: it can touch nothing but
+// its mailbox. Its exception descriptor points at a supervisor watchdog
+// thread. One of the packets triggers a divide-by-zero inside the filter —
+// the hardware disables the filter, writes a descriptor, and the watchdog
+// wakes, logs the crash, delivers a "drop" verdict to the waiting app, and
+// revives the filter for the next packet. The app never sees anything but
+// a verdict.
+//
+// Run with: go run ./examples/sandbox
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocs/internal/asm"
+	"nocs/internal/core"
+	"nocs/internal/hwthread"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+)
+
+const (
+	inbox     = 0x1000 // app -> filter: packet value
+	outbox    = 0x1008 // filter -> app: verdict (1 accept, 0 drop, -1 crashed)
+	filterEDP = 0x2000 // filter's exception descriptor
+)
+
+func main() {
+	m := machine.NewDefault()
+	c := m.Core(0)
+
+	// The application: sends each packet, starts the filter, blocks on the
+	// verdict. vtid 0 maps to the filter with start-only rights — the app
+	// cannot stop it, read its registers, or touch anything else.
+	app := asm.MustAssemble("app", `
+main:
+	movi r1, 0x1000   ; inbox
+	movi r2, 0x1008   ; outbox
+	movi r7, 0        ; packet index
+loop:
+	ld r3, [r14+0]    ; next packet value from the "wire" (r14 = packet array)
+	addi r14, r14, 8
+	movi r4, 0
+	st [r2+0], r4     ; clear verdict
+	monitor r2        ; arm BEFORE kicking the filter
+	st [r1+0], r3     ; hand the packet over
+	movi r5, 0        ; vtid 0 = filter
+	start r5
+wait:
+	mwait
+	ld r6, [r2+0]
+	movi r4, 0
+	bne r6, r4, got
+	monitor r2
+	jmp wait
+got:
+	native app.verdict
+	addi r7, r7, 1
+	movi r8, 6
+	blt r7, r8, loop
+	halt
+`)
+
+	// The untrusted filter: verdict = 1 if value/votes is even... and a
+	// divide that blows up when the packet value is exactly 13.
+	filter := asm.MustAssemble("filter", `
+entry:
+	movi r1, 0x1000
+	ld r2, [r1+0]     ; packet value
+	movi r3, 13
+	sub r4, r2, r3    ; r4 = value - 13 (zero for the poison packet)
+	div r5, r2, r4    ; CRASHES when value == 13
+	movi r6, 2
+	div r7, r2, r6
+	mul r7, r7, r6
+	sub r7, r2, r7    ; r7 = value % 2
+	movi r8, 0x1008
+	movi r9, 0
+	beq r7, r9, even
+	movi r9, 1        ; odd -> accept (verdict 1)
+	st [r8+0], r9
+	jmp done
+even:
+	movi r9, 2        ; even -> drop (verdict 2)
+	st [r8+0], r9
+done:
+	movi r10, 0
+	stop r10          ; park ourselves until the next packet (vtid 0 = self)
+	jmp entry
+`)
+
+	// Wire the packets the app will read (one is the poison value 13).
+	packets := []int64{7, 10, 13, 4, 9, 16}
+	const wire = 0x3000
+	for i, p := range packets {
+		m.Mem().Write(wire+int64(i*8), p, 0)
+	}
+
+	// TDT for the app: vtid 0 -> filter ptid 1, start-only.
+	appCtx := c.Threads().Context(0)
+	appCtx.Regs.TDT = 0x8000
+	appCtx.Regs.GPR[14] = wire
+	hwthread.WriteTDTEntry(m.Mem(), 0x8000, 0, hwthread.Entry{PTID: 1, Perm: hwthread.PermStart})
+
+	// TDT for the filter: vtid 0 -> itself, stop-only (it parks itself).
+	filterCtx := c.Threads().Context(1)
+	filterCtx.Regs.TDT = 0x8100
+	filterCtx.Regs.EDP = filterEDP
+	hwthread.WriteTDTEntry(m.Mem(), 0x8100, 0, hwthread.Entry{PTID: 1, Perm: hwthread.PermStop})
+
+	if err := c.BindProgram(0, app, "main"); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.BindProgram(1, filter, "entry"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The supervisor watchdog: a native service watching the filter's
+	// exception doorbell. On a crash it logs, answers "drop" for the app,
+	// resets the filter's PC, and leaves it parked for the next start.
+	crashes := 0
+	c.RegisterNative("watchdog.svc", func(cc *core.Core, t *hwthread.Context) sim.Cycles {
+		cc.ArmWatches(t, filterEDP+hwthread.DescCauseOff)
+		d := hwthread.ReadDescriptor(cc.Mem(), filterEDP)
+		var cost sim.Cycles
+		if d.Cause != hwthread.ExcNone {
+			crashes++
+			fmt.Printf("  [watchdog] filter crashed: %v at pc=%d — dropping packet, reviving filter\n",
+				d.Cause, d.PC)
+			hwthread.ClearDescriptor(cc.Mem(), filterEDP)
+			f := cc.Threads().Context(d.PTID)
+			f.Regs.PC = 0 // reset to entry for the next packet
+			cc.WriteWord(outbox, -1)
+			cost = 200
+		}
+		if t.State == hwthread.Runnable && cost == 0 {
+			cc.WaitArmed(t)
+		}
+		return cost
+	})
+	watchdog := asm.MustAssemble("watchdog", "svc:\n\tnative watchdog.svc\n\tjmp svc")
+	if err := c.BindProgram(2, watchdog, "svc"); err != nil {
+		log.Fatal(err)
+	}
+	c.Threads().Context(2).Regs.Mode = 1 // supervisor
+
+	verdictNames := map[int64]string{1: "ACCEPT", 2: "DROP", -1: "DROP (filter crashed)"}
+	idx := 0
+	c.RegisterNative("app.verdict", func(cc *core.Core, t *hwthread.Context) sim.Cycles {
+		v := t.Regs.GPR[6]
+		fmt.Printf("packet %d (value %2d) -> %s\n", idx, packets[idx], verdictNames[v])
+		idx++
+		return 1
+	})
+
+	fmt.Println("untrusted filter thread: user mode, empty TDT, watchdog on its EDP")
+	fmt.Println()
+	c.BootStart(2) // watchdog parks first
+	m.Run(0)
+	c.BootStart(0)
+	m.Run(0)
+	if err := m.Fatal(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprocessed %d packets, filter crashed %d time(s), app and kernel unharmed\n",
+		idx, crashes)
+	fmt.Printf("total time: %v\n", m.Now())
+}

@@ -1,0 +1,72 @@
+// Scheduler: the §4 role change for the OS scheduler, live. Instead of
+// multiplexing software threads onto hardware threads, the scheduler is
+// itself a hardware thread parked in mwait on a doorbell; it reacts to new
+// work at wakeup latency, dispatches tasks to worker hardware threads by
+// priority, and only queues in software when every worker is busy — the
+// overflow the paper wants to be "as uncommon as swapping memory pages to
+// disk".
+//
+// Run with: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocs/internal/core"
+	"nocs/internal/hwthread"
+	"nocs/internal/kernel"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+)
+
+func main() {
+	m := machine.New(machine.Config{
+		Cores:             1,
+		DMAMonitorVisible: true,
+		Core:              core.Config{Threads: 64, Slots: 2},
+	})
+	k := kernel.NewNocs(m.Core(0))
+	workers := []hwthread.PTID{0, 1, 2, 3}
+	s, err := kernel.NewScheduler(k, workers, 0x700000, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Run(0) // park the scheduler thread
+
+	type job struct {
+		name   string
+		demand sim.Cycles
+		prio   int
+	}
+	jobs := []job{
+		{"batch-compress", 20000, 1},
+		{"batch-index", 18000, 1},
+		{"batch-rescore", 22000, 1},
+		{"batch-etl", 16000, 1},
+		{"rpc-hot-path", 2000, 9},
+		{"rpc-hot-path", 2000, 9},
+		{"gc-background", 30000, 1},
+		{"rpc-hot-path", 2000, 9},
+	}
+
+	fmt.Printf("4 worker hardware threads, 2 SMT slots; %d jobs submitted at once\n\n", len(jobs))
+	var submitAt sim.Cycles
+	for _, j := range jobs {
+		j := j
+		s.Submit(kernel.Task{Demand: j.demand, Priority: j.prio,
+			OnDone: func(at sim.Cycles) {
+				fmt.Printf("  t=%-8d done: %-15s (demand %5d, prio %d, waited+ran %d cycles)\n",
+					int64(at), j.name, int64(j.demand), j.prio, int64(at-submitAt))
+			}})
+	}
+	m.Run(0)
+	if err := m.Fatal(); err != nil {
+		log.Fatal(err)
+	}
+
+	d, c, maxQ := s.Stats()
+	fmt.Printf("\ndispatched %d, completed %d, peak software queue %d\n", d, c, maxQ)
+	fmt.Println("high-priority RPCs jumped the queue and finished first, while the")
+	fmt.Println("scheduler thread itself consumed zero cycles between doorbell rings.")
+}

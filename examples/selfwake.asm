@@ -1,0 +1,28 @@
+; selfwake.asm — a single-thread tour of the proposed ISA, runnable with:
+;
+;   go run ./cmd/nocsasm -run -trace 30 examples/selfwake.asm
+;
+; It demonstrates the monitor/mwait no-lost-wakeup rule: the thread arms a
+; watch on a mailbox, stores to that mailbox itself, and the following mwait
+; completes immediately instead of sleeping forever (the write was "pending").
+; It then does a little arithmetic so the register dump shows results.
+
+main:
+	movi r1, 0x1000     ; mailbox address
+	monitor r1          ; arm the watch FIRST
+	movi r2, 7
+	st [r1+0], r2       ; our own store hits the armed watch...
+	mwait               ; ...so this completes immediately (no lost wakeup)
+	ld r3, [r1+0]       ; r3 = 7
+
+	; compute 7 * 6 = 42 the slow way
+	movi r4, 0          ; accumulator
+	movi r5, 0          ; counter
+	movi r6, 6
+loop:
+	add r4, r4, r3
+	addi r5, r5, 1
+	blt r5, r6, loop
+
+	st [r1+8], r4       ; publish the answer next to the mailbox
+	halt

@@ -1,0 +1,3 @@
+module nocs
+
+go 1.22

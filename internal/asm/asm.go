@@ -1,0 +1,449 @@
+// Package asm implements a two-pass text assembler for the nocs ISA.
+//
+// Syntax is the same as the disassembler output of internal/isa, so
+// assemble(disassemble(p)) is a fixpoint (property-tested). Lines contain an
+// optional "label:" prefix, one instruction, and an optional comment starting
+// with ';' or '#'. Example:
+//
+//	; wait for a NIC rx-tail write, then count events
+//	main:
+//	    movi r1, 4096       ; rx queue tail address
+//	loop:
+//	    monitor r1
+//	    mwait
+//	    addi r2, r2, 1
+//	    jmp loop
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nocs/internal/isa"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	b    *isa.Builder
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses src into a program named name.
+func Assemble(name, src string) (*isa.Program, error) {
+	p := &parser{b: isa.NewBuilder(name)}
+	for i, raw := range strings.Split(src, "\n") {
+		p.line = i + 1
+		if err := p.parseLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := p.b.Build()
+	if err != nil {
+		return nil, &Error{Line: 0, Msg: err.Error()}
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble but panics on error; for examples and tests.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func (p *parser) parseLine(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return nil
+	}
+	// Labels: allow several on one line ("a: b: nop") though one is typical.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t,") {
+			return p.errf("malformed label %q", s[:i])
+		}
+		p.b.Label(label)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	return p.parseInstr(s)
+}
+
+// splitOperands splits "r1, [r2+8], r3" into trimmed operand strings.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (p *parser) reg(s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(s)
+	if !ok {
+		return 0, p.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+func (p *parser) imm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// mem parses "[reg+imm]", "[reg-imm]" or "[reg]".
+func (p *parser) mem(s string) (isa.Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, p.errf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	// Find a +/- separator after the register name.
+	sep := -1
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			sep = i
+			break
+		}
+	}
+	regPart, immPart := inner, ""
+	if sep >= 0 {
+		regPart = inner[:sep]
+		immPart = inner[sep:]
+		if immPart[0] == '+' {
+			immPart = immPart[1:]
+		}
+	}
+	r, err := p.reg(strings.TrimSpace(regPart))
+	if err != nil {
+		return 0, 0, err
+	}
+	var off int64
+	if immPart != "" {
+		off, err = p.imm(strings.TrimSpace(immPart))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return r, off, nil
+}
+
+// target parses a branch target: numeric immediate or label reference.
+// For labels it returns useLabel=true and the label name.
+func (p *parser) target(s string) (imm int64, label string, useLabel bool, err error) {
+	if v, e := strconv.ParseInt(s, 0, 64); e == nil {
+		return v, "", false, nil
+	}
+	if s == "" || strings.ContainsAny(s, " \t,[]") {
+		return 0, "", false, p.errf("bad jump target %q", s)
+	}
+	return 0, s, true, nil
+}
+
+func (p *parser) wantOperands(ops []string, n int, mnemonic string) error {
+	if len(ops) != n {
+		return p.errf("%s expects %d operand(s), got %d", mnemonic, n, len(ops))
+	}
+	return nil
+}
+
+func (p *parser) parseInstr(s string) error {
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return p.errf("unknown instruction %q", mnemonic)
+	}
+	ops := splitOperands(rest)
+
+	emitRRR := func() error {
+		if err := p.wantOperands(ops, 3, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := p.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+		return nil
+	}
+
+	switch op {
+	case isa.NOP, isa.MWAIT, isa.SYSCALL, isa.SYSRET, isa.VMCALL, isa.VMRESUME,
+		isa.IRET, isa.HLT, isa.HALT:
+		if err := p.wantOperands(ops, 0, mnemonic); err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op})
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SLT, isa.FADD, isa.FMUL:
+		return emitRRR()
+
+	case isa.ADDI:
+		if err := p.wantOperands(ops, 3, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := p.imm(ops[2])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+
+	case isa.MOVI, isa.FMOVI:
+		if err := p.wantOperands(ops, 2, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := p.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rd: rd, Imm: imm})
+
+	case isa.MOV, isa.FMOV, isa.WRMSR, isa.RDMSR:
+		if err := p.wantOperands(ops, 2, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs})
+
+	case isa.LD:
+		if err := p.wantOperands(ops, 2, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := p.mem(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: base, Imm: off})
+
+	case isa.ST:
+		if err := p.wantOperands(ops, 2, mnemonic); err != nil {
+			return err
+		}
+		base, off, err := p.mem(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rs1: base, Imm: off, Rs2: rs})
+
+	case isa.JMP:
+		if err := p.wantOperands(ops, 1, mnemonic); err != nil {
+			return err
+		}
+		imm, label, useLabel, err := p.target(ops[0])
+		if err != nil {
+			return err
+		}
+		if useLabel {
+			p.b.EmitRef(isa.Instr{Op: op}, label)
+		} else {
+			p.b.Emit(isa.Instr{Op: op, Imm: imm})
+		}
+
+	case isa.JAL:
+		if err := p.wantOperands(ops, 2, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, label, useLabel, err := p.target(ops[1])
+		if err != nil {
+			return err
+		}
+		if useLabel {
+			p.b.EmitRef(isa.Instr{Op: op, Rd: rd}, label)
+		} else {
+			p.b.Emit(isa.Instr{Op: op, Rd: rd, Imm: imm})
+		}
+
+	case isa.JR:
+		if err := p.wantOperands(ops, 1, mnemonic); err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rs1: rs})
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		if err := p.wantOperands(ops, 3, mnemonic); err != nil {
+			return err
+		}
+		rs1, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, label, useLabel, err := p.target(ops[2])
+		if err != nil {
+			return err
+		}
+		if useLabel {
+			p.b.EmitRef(isa.Instr{Op: op, Rs1: rs1, Rs2: rs2}, label)
+		} else {
+			p.b.Emit(isa.Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm})
+		}
+
+	case isa.MONITOR, isa.START, isa.STOP:
+		if err := p.wantOperands(ops, 1, mnemonic); err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rs1: rs})
+
+	case isa.RPULL:
+		// rpull <vtid-reg>, <local-reg>, <remote-reg>
+		if err := p.wantOperands(ops, 3, mnemonic); err != nil {
+			return err
+		}
+		vt, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		local, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		remote, err := p.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rs1: vt, Rd: local, Imm: int64(remote)})
+
+	case isa.RPUSH:
+		// rpush <vtid-reg>, <remote-reg>, <local-reg>
+		if err := p.wantOperands(ops, 3, mnemonic); err != nil {
+			return err
+		}
+		vt, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		remote, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		local, err := p.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rs1: vt, Imm: int64(remote), Rs2: local})
+
+	case isa.INVTID:
+		if err := p.wantOperands(ops, 2, mnemonic); err != nil {
+			return err
+		}
+		r1, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		r2, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rs1: r1, Rs2: r2})
+
+	case isa.INT:
+		if err := p.wantOperands(ops, 1, mnemonic); err != nil {
+			return err
+		}
+		imm, err := p.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Imm: imm})
+
+	case isa.NATIVE:
+		if err := p.wantOperands(ops, 1, mnemonic); err != nil {
+			return err
+		}
+		if ops[0] == "" {
+			return p.errf("native requires a handler symbol")
+		}
+		p.b.Emit(isa.Instr{Op: op, Sym: ops[0]})
+
+	default:
+		return p.errf("instruction %q not supported by the assembler", mnemonic)
+	}
+	return nil
+}

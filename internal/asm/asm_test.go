@@ -1,0 +1,272 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nocs/internal/isa"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; event-counting loop from the package comment
+main:
+    movi r1, 4096       ; rx queue tail address
+loop:
+    monitor r1
+    mwait
+    addi r2, r2, 1
+    jmp loop
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("len = %d, want 5", p.Len())
+	}
+	if p.MustEntry("main") != 0 || p.MustEntry("loop") != 1 {
+		t.Fatalf("labels: %v", p.Labels)
+	}
+	if p.Code[4].Op != isa.JMP || p.Code[4].Imm != 1 {
+		t.Fatalf("jmp not resolved: %+v", p.Code[4])
+	}
+}
+
+func TestAssembleAllForms(t *testing.T) {
+	src := `
+start_here:
+	nop
+	add r1, r2, r3
+	sub r4, r5, r6
+	mul r7, r8, r9
+	div r10, r11, r12
+	and r1, r2, r3
+	or r1, r2, r3
+	xor r1, r2, r3
+	shl r1, r2, r3
+	shr r1, r2, r3
+	slt r1, r2, r3
+	addi r1, r2, -19
+	movi r3, 0x40
+	mov r4, r5
+	fadd f0, f1, f2
+	fmul f3, f4, f5
+	fmovi f6, 2
+	fmov f7, f0
+	ld r1, [r2+16]
+	ld r1, [r2-8]
+	ld r1, [r2]
+	st [sp+0], r3
+	jmp start_here
+	jal lr, start_here
+	jr lr
+	beq r1, r2, start_here
+	bne r1, r2, 0
+	blt r1, r2, start_here
+	bge r1, r2, start_here
+	monitor r1
+	mwait
+	start r2
+	stop r2
+	rpull r2, r3, pc
+	rpush r2, mode, r4
+	invtid r2, r5
+	syscall
+	sysret
+	vmcall
+	vmresume
+	int 32
+	iret
+	wrmsr r1, r2
+	rdmsr r3, r4
+	hlt
+	native sys.write
+	halt
+`
+	p, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 47 {
+		t.Fatalf("len = %d, want 47", p.Len())
+	}
+	// Spot-check tricky encodings.
+	find := func(op isa.Op) isa.Instr {
+		for _, in := range p.Code {
+			if in.Op == op {
+				return in
+			}
+		}
+		t.Fatalf("opcode %v not found", op)
+		return isa.Instr{}
+	}
+	if in := find(isa.RPULL); in.Rs1 != isa.R2 || in.Rd != isa.R3 || isa.Reg(in.Imm) != isa.PC {
+		t.Fatalf("rpull mis-assembled: %+v", in)
+	}
+	if in := find(isa.RPUSH); in.Rs1 != isa.R2 || isa.Reg(in.Imm) != isa.Mode || in.Rs2 != isa.R4 {
+		t.Fatalf("rpush mis-assembled: %+v", in)
+	}
+	if in := find(isa.NATIVE); in.Sym != "sys.write" {
+		t.Fatalf("native mis-assembled: %+v", in)
+	}
+	if in := find(isa.ST); in.Rs1 != isa.R14 || in.Rs2 != isa.R3 {
+		t.Fatalf("st with sp alias mis-assembled: %+v", in)
+	}
+}
+
+func TestAssembleNegativeAndHexImmediates(t *testing.T) {
+	p := MustAssemble("t", "movi r1, -42\nmovi r2, 0xff\nld r3, [r4-24]")
+	if p.Code[0].Imm != -42 || p.Code[1].Imm != 255 || p.Code[2].Imm != -24 {
+		t.Fatalf("immediates: %+v", p.Code)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+		wantLine     int
+	}{
+		{"frob r1", "unknown instruction", 1},
+		{"add r1, r2", "expects 3 operand", 1},
+		{"nop\nadd r1, r2, r99", "bad register", 2},
+		{"movi r1, zz", "bad immediate", 1},
+		{"ld r1, r2", "bad memory operand", 1},
+		{"jmp bad label", "bad jump target", 1},
+		{"jmp [r1]", "bad jump target", 1},
+		{"my label: nop", "malformed label", 1},
+		{"jmp nowhere", "undefined label", 0},
+		{"a: nop\na: nop", "duplicate label", 0},
+		{"native", "expects 1 operand", 1},
+		{"mwait r1", "expects 0 operand", 1},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Errorf("src %q: expected error", c.src)
+			continue
+		}
+		ae, ok := err.(*Error)
+		if !ok {
+			t.Errorf("src %q: error type %T", c.src, err)
+			continue
+		}
+		if !strings.Contains(ae.Msg, c.wantSub) {
+			t.Errorf("src %q: error %q does not contain %q", c.src, ae.Msg, c.wantSub)
+		}
+		if ae.Line != c.wantLine {
+			t.Errorf("src %q: error line %d, want %d", c.src, ae.Line, c.wantLine)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p := MustAssemble("t", "\n\n; only a comment\n# hash comment\n   \n nop ; trailing\n")
+	if p.Len() != 1 || p.Code[0].Op != isa.NOP {
+		t.Fatalf("program: %+v", p.Code)
+	}
+}
+
+func TestLabelOnOwnLineAndSameLine(t *testing.T) {
+	p := MustAssemble("t", "a:\nb: nop\nc: d: halt")
+	if p.MustEntry("a") != 0 || p.MustEntry("b") != 0 {
+		t.Fatal("labels a/b should both be 0")
+	}
+	if p.MustEntry("c") != 1 || p.MustEntry("d") != 1 {
+		t.Fatal("labels c/d should both be 1")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("t", "bogus")
+}
+
+// Round trip: disassembling an assembled program and re-assembling it yields
+// the same instruction stream.
+func TestAssembleDisassembleFixpoint(t *testing.T) {
+	src := `
+main:
+	movi r1, 64
+	movi r2, 0
+loop:
+	addi r2, r2, 1
+	blt r2, r1, loop
+	monitor r1
+	mwait
+	rpull r2, r3, pc
+	rpush r2, edp, r4
+	start r2
+	native kernel.tick
+	halt
+`
+	p1 := MustAssemble("t", src)
+	d1 := p1.Disassemble()
+	p2, err := Assemble("t", d1)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, d1)
+	}
+	if p1.Len() != p2.Len() {
+		t.Fatalf("length changed: %d -> %d", p1.Len(), p2.Len())
+	}
+	for i := range p1.Code {
+		a, b := p1.Code[i], p2.Code[i]
+		a.Sym, b.Sym = "", "" // label names on branch targets may differ from raw imms
+		if a.Op == isa.NATIVE {
+			a.Sym, b.Sym = p1.Code[i].Sym, p2.Code[i].Sym
+		}
+		if a != b {
+			t.Fatalf("instr %d changed: %+v -> %+v", i, p1.Code[i], p2.Code[i])
+		}
+	}
+	d2 := p2.Disassemble()
+	if d1 != d2 {
+		t.Fatalf("disassembly not a fixpoint:\n%s\nvs\n%s", d1, d2)
+	}
+}
+
+// Property: programs built from random simple ALU instructions survive the
+// disassemble → assemble round trip.
+func TestRoundTripProperty(t *testing.T) {
+	alu := []isa.Op{isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SLT}
+	f := func(ops []uint8) bool {
+		b := isa.NewBuilder("p")
+		for _, o := range ops {
+			op := alu[int(o)%len(alu)]
+			rd := isa.Reg(o % isa.NumGPR)
+			rs1 := isa.Reg((o >> 2) % isa.NumGPR)
+			rs2 := isa.Reg((o >> 4) % isa.NumGPR)
+			b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+		}
+		b.Halt()
+		p1 := b.MustBuild()
+		p2, err := Assemble("p", p1.Disassemble())
+		if err != nil {
+			return false
+		}
+		if p1.Len() != p2.Len() {
+			return false
+		}
+		for i := range p1.Code {
+			if p1.Code[i] != p2.Code[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := &Error{Line: 7, Msg: "boom"}
+	if got := e.Error(); got != "asm: line 7: boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+}

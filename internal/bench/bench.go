@@ -1,0 +1,118 @@
+// Package bench is the experiment harness: one registered experiment per
+// table/figure in DESIGN.md §3, each producing paper-style tables. The CLI
+// (cmd/nocsim) and the repository-root benchmarks both drive this registry,
+// so the printed rows and the testing.B measurements come from the same
+// code.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nocs/internal/metrics"
+)
+
+// RunConfig parameterizes an experiment run.
+type RunConfig struct {
+	// Seed is the master RNG seed; identical seeds give identical tables.
+	Seed uint64
+	// Quick reduces sample counts for fast CI / testing.B iterations.
+	Quick bool
+}
+
+// DefaultConfig is the reproduction configuration used by the CLI.
+func DefaultConfig() RunConfig { return RunConfig{Seed: 20210531} } // HotOS '21 day one
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Claim  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n", r.ID, r.Title)
+	if r.Claim != "" {
+		fmt.Fprintf(&b, "Paper claim: %s\n\n", r.Claim)
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg RunConfig) (*Result, error)
+}
+
+var registry = map[string]*Experiment{}
+
+// Register adds an experiment; duplicate IDs panic at init time.
+func Register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("bench: duplicate experiment %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns an experiment by ID (case-insensitive).
+func Get(id string) (*Experiment, bool) {
+	e, ok := registry[strings.ToUpper(id)]
+	return e, ok
+}
+
+// IDs returns all registered experiment IDs in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// Group by prefix letter (A, F, T), numeric within.
+		pi, pj := ids[i][0], ids[j][0]
+		if pi != pj {
+			return pi < pj
+		}
+		var ni, nj int
+		fmt.Sscanf(ids[i][1:], "%d", &ni)
+		fmt.Sscanf(ids[j][1:], "%d", &nj)
+		return ni < nj
+	})
+	return ids
+}
+
+// Run executes an experiment by ID.
+func Run(id string, cfg RunConfig) (*Result, error) {
+	e, ok := Get(id)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", id, err)
+	}
+	res.ID, res.Title, res.Claim = e.ID, e.Title, e.Claim
+	return res, nil
+}
+
+// MustRun is Run but panics on error; for benchmarks.
+func MustRun(id string, cfg RunConfig) *Result {
+	r, err := Run(id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,462 @@
+// Package core implements the paper's proposed CPU core: a few SMT pipeline
+// slots multiplexing many software-controlled hardware threads (ptids), with
+// the §3.1 instructions (monitor/mwait, start/stop, rpull/rpush, invtid),
+// exception-descriptor faults, and a thread-state storage hierarchy — plus a
+// complete *legacy mode* (in-thread syscall privilege switches, VM-exits,
+// IRQ-context interrupts) so conventional kernels can be modeled on the same
+// hardware for the baselines.
+//
+// Execution is event-driven over virtual time: each runnable ptid has one
+// in-flight "execute next instruction" event; instruction latencies are
+// scaled by the pipeline's processor-sharing model; loads and stores charge
+// the cache hierarchy; mwait parks the ptid in the machine's monitor engine.
+package core
+
+import (
+	"fmt"
+
+	"nocs/internal/hwthread"
+	"nocs/internal/isa"
+	"nocs/internal/mem"
+	"nocs/internal/monitor"
+	"nocs/internal/pipeline"
+	"nocs/internal/sim"
+	"nocs/internal/statestore"
+)
+
+// CostConfig parameterizes the architectural transition costs. Defaults
+// follow DESIGN.md's calibration table (each value is tied to a paper claim
+// or citation there).
+type CostConfig struct {
+	// SyscallEntry/SyscallExit: same-thread privilege mode switch, each way
+	// (§1/§2 "hundreds of cycles", FlexSC).
+	SyscallEntry sim.Cycles
+	SyscallExit  sim.Cycles
+	// VMExit/VMEntry: in-thread root-mode transition (§2, Agesen et al.).
+	VMExit  sim.Cycles
+	VMEntry sim.Cycles
+	// IRQEntry/IRQExit: jump into/out of a hard IRQ context (§1).
+	IRQEntry sim.Cycles
+	IRQExit  sim.Cycles
+	// IPISend/IPIReceive: inter-processor interrupt costs (§1).
+	IPISend    sim.Cycles
+	IPIReceive sim.Cycles
+	// ContextSwitch: software thread switch (registers + kernel scheduler).
+	ContextSwitch sim.Cycles
+	// FPSaveRestore: extra cost to save+restore the 784-byte vector state
+	// when a legacy kernel that uses FP must preserve user FP registers.
+	FPSaveRestore sim.Cycles
+	// ThreadOp: cost of executing start/stop/rpull/rpush/invtid themselves —
+	// the paper requires these to be nanosecond-scale.
+	ThreadOp sim.Cycles
+}
+
+func (c *CostConfig) setDefaults() {
+	if c.SyscallEntry == 0 {
+		c.SyscallEntry = 150
+	}
+	if c.SyscallExit == 0 {
+		c.SyscallExit = 150
+	}
+	if c.VMExit == 0 {
+		c.VMExit = 1200
+	}
+	if c.VMEntry == 0 {
+		c.VMEntry = 800
+	}
+	if c.IRQEntry == 0 {
+		c.IRQEntry = 600
+	}
+	if c.IRQExit == 0 {
+		c.IRQExit = 300
+	}
+	if c.IPISend == 0 {
+		c.IPISend = 400
+	}
+	if c.IPIReceive == 0 {
+		c.IPIReceive = 700
+	}
+	if c.ContextSwitch == 0 {
+		c.ContextSwitch = 1200
+	}
+	if c.FPSaveRestore == 0 {
+		c.FPSaveRestore = 300
+	}
+	if c.ThreadOp == 0 {
+		c.ThreadOp = 4
+	}
+}
+
+// Config describes one core.
+type Config struct {
+	// ID is the core number within the machine.
+	ID int
+	// Threads is the number of hardware thread contexts (ptids). The paper
+	// argues for 10s–1000s; default 64.
+	Threads int
+	// Slots is the SMT issue width shared by runnable ptids (default 2).
+	Slots int
+	// Costs are the transition costs (defaults per DESIGN.md).
+	Costs CostConfig
+	// Store configures the thread-state storage hierarchy.
+	Store statestore.Config
+	// Hier configures the data cache hierarchy.
+	Hier mem.HierarchyConfig
+}
+
+// NativeFunc is a simulator pseudo-instruction body: it runs Go logic on
+// behalf of the ptid executing a NATIVE instruction and returns the cycle
+// cost to charge. It may manipulate threads, memory, and devices freely.
+type NativeFunc func(c *Core, t *hwthread.Context) sim.Cycles
+
+// Core is one simulated CPU core.
+type Core struct {
+	id      int
+	eng     *sim.Engine
+	mem     *mem.Memory
+	hier    *mem.Hierarchy
+	mon     *monitor.Engine
+	threads *hwthread.Manager
+	store   *statestore.Store
+	pipe    *pipeline.Pipeline
+	costs   CostConfig
+
+	natives map[string]NativeFunc
+	waiters []*waiter // one per ptid
+	execEv  []*sim.Event
+
+	// Legacy-mode hooks. When LegacySyscall is non-nil, SYSCALL performs an
+	// in-thread mode switch and runs the hook; otherwise SYSCALL writes an
+	// ExcSyscall descriptor and disables the thread (nocs personality).
+	LegacySyscall NativeFunc
+	// LegacyVMExit: same split for VMCALL and guest privileged instructions.
+	LegacyVMExit NativeFunc
+	// KernelUsesFP charges FPSaveRestore on every legacy syscall/IRQ entry
+	// (experiment F5: a legacy kernel that links FP/vector code must
+	// save/restore user vector state).
+	KernelUsesFP bool
+
+	// OnWake, if set, observes monitor wakeups (ptid, watched addr, time).
+	OnWake func(p hwthread.PTID, addr int64, at sim.Cycles)
+	// OnExec, if set, observes every issued instruction (tracing; see
+	// TraceBuffer). Faulting instructions are traced before they fault.
+	OnExec func(p hwthread.PTID, pc int64, in isa.Instr, at sim.Cycles)
+	// OnFatal, if set, observes unrecoverable faults (§3.2 triple-fault).
+	OnFatal func(p hwthread.PTID, f *hwthread.Fault)
+
+	guests map[hwthread.PTID]bool
+	halted map[hwthread.PTID]bool // parked by legacy HLT, not monitor
+
+	fatal   error
+	retired uint64
+	starts  uint64
+}
+
+// waiter adapts one ptid to the monitor engine.
+type waiter struct {
+	c *Core
+	p hwthread.PTID
+}
+
+func (w *waiter) MonitorWake(addr, val int64, src mem.WriteSource) {
+	w.c.wake(w.p, addr)
+}
+
+// New builds a core attached to the machine's engine, memory, and monitor.
+func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 64
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	cfg.Costs.setDefaults()
+	c := &Core{
+		id:      cfg.ID,
+		eng:     eng,
+		mem:     m,
+		hier:    mem.NewHierarchy(m, cfg.Hier),
+		mon:     mon,
+		threads: hwthread.NewManager(m, cfg.Threads),
+		store:   statestore.New(cfg.Store),
+		pipe:    pipeline.New(cfg.Slots),
+		costs:   cfg.Costs,
+		natives: make(map[string]NativeFunc),
+		guests:  make(map[hwthread.PTID]bool),
+		halted:  make(map[hwthread.PTID]bool),
+	}
+	c.waiters = make([]*waiter, cfg.Threads)
+	c.execEv = make([]*sim.Event, cfg.Threads)
+	for i := range c.waiters {
+		c.waiters[i] = &waiter{c: c, p: hwthread.PTID(i)}
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		// All contexts start with the base state footprint.
+		if err := c.store.Register(i, isa.BaseStateBytes); err != nil {
+			panic(err) // fresh ids cannot collide
+		}
+	}
+	return c
+}
+
+// Accessors.
+
+// ID returns the core number.
+func (c *Core) ID() int { return c.id }
+
+// Engine returns the shared event engine.
+func (c *Core) Engine() *sim.Engine { return c.eng }
+
+// Now returns current simulated time.
+func (c *Core) Now() sim.Cycles { return c.eng.Now() }
+
+// Mem returns physical memory.
+func (c *Core) Mem() *mem.Memory { return c.mem }
+
+// Hierarchy returns the core's cache stack.
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Monitor returns the machine's monitor engine.
+func (c *Core) Monitor() *monitor.Engine { return c.mon }
+
+// Threads returns the hardware thread manager.
+func (c *Core) Threads() *hwthread.Manager { return c.threads }
+
+// StateStore returns the thread-state storage hierarchy.
+func (c *Core) StateStore() *statestore.Store { return c.store }
+
+// Pipeline returns the SMT issue model.
+func (c *Core) Pipeline() *pipeline.Pipeline { return c.pipe }
+
+// Costs returns the effective cost configuration.
+func (c *Core) Costs() CostConfig { return c.costs }
+
+// Fatal returns the unrecoverable fault, if any (nil while healthy).
+func (c *Core) Fatal() error { return c.fatal }
+
+// Retired returns the total instructions retired on this core.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Starts returns the number of hardware-thread starts (incl. wakeups).
+func (c *Core) Starts() uint64 { return c.starts }
+
+// RegisterNative installs a native handler invoked by `native name`.
+func (c *Core) RegisterNative(name string, fn NativeFunc) {
+	if _, dup := c.natives[name]; dup {
+		panic(fmt.Sprintf("core: native %q registered twice", name))
+	}
+	c.natives[name] = fn
+}
+
+// MarkGuest flags a ptid as running guest (VM) code: its privileged
+// instructions become VM-exits rather than plain privilege faults.
+func (c *Core) MarkGuest(p hwthread.PTID, guest bool) {
+	if guest {
+		c.guests[p] = true
+	} else {
+		delete(c.guests, p)
+	}
+}
+
+// IsGuest reports the guest flag.
+func (c *Core) IsGuest(p hwthread.PTID) bool { return c.guests[p] }
+
+// BindProgram attaches a program to a ptid and points its PC at entry.
+// The thread remains disabled until started.
+func (c *Core) BindProgram(p hwthread.PTID, prog *isa.Program, entry string) error {
+	t := c.threads.Context(p)
+	if t == nil {
+		return fmt.Errorf("core %d: no ptid %d", c.id, p)
+	}
+	pc, err := prog.Entry(entry)
+	if err != nil {
+		return err
+	}
+	t.Prog = prog
+	t.Regs.PC = pc
+	return nil
+}
+
+// BootStart enables a ptid directly (firmware/boot path, no TDT check) and
+// schedules its first instruction after the tier-dependent start latency.
+func (c *Core) BootStart(p hwthread.PTID) error {
+	t := c.threads.Context(p)
+	if t == nil {
+		return fmt.Errorf("core %d: no ptid %d", c.id, p)
+	}
+	if t.Prog == nil {
+		return fmt.Errorf("core %d: ptid %d has no program", c.id, p)
+	}
+	if t.State != hwthread.Disabled {
+		return nil
+	}
+	t.State = hwthread.Runnable
+	t.Starts++
+	c.resume(t)
+	return nil
+}
+
+// resume puts a newly-runnable thread on the pipeline and schedules its
+// first instruction after its state-start latency.
+func (c *Core) resume(t *hwthread.Context) {
+	cost, err := c.store.Start(int(t.PTID), c.eng.Now())
+	if err != nil {
+		panic(err) // registered at construction; cannot be missing
+	}
+	c.starts++
+	t.LastStarted = c.eng.Now()
+	c.pipe.Add(int(t.PTID), t.Weight())
+	c.scheduleExec(t, cost)
+}
+
+// suspend removes a thread from the pipeline and cancels its next issue.
+func (c *Core) suspend(t *hwthread.Context) {
+	c.pipe.Remove(int(t.PTID))
+	if ev := c.execEv[t.PTID]; ev != nil {
+		ev.Cancel()
+		c.execEv[t.PTID] = nil
+	}
+}
+
+// wake handles a monitor wakeup: waiting → runnable. It is also invoked for
+// immediate completions (a write landed between monitor and mwait, so mwait
+// never blocked): the thread is then still runnable and only the wakeup is
+// recorded.
+func (c *Core) wake(p hwthread.PTID, addr int64) {
+	t := c.threads.Context(p)
+	if t == nil {
+		return
+	}
+	if t.State != hwthread.Waiting {
+		t.Wakeups++
+		if c.OnWake != nil {
+			c.OnWake(p, addr, c.eng.Now())
+		}
+		return
+	}
+	t.State = hwthread.Runnable
+	t.Wakeups++
+	c.store.Prefetch(int(p), c.eng.Now())
+	if c.OnWake != nil {
+		c.OnWake(p, addr, c.eng.Now())
+	}
+	c.resume(t)
+}
+
+// scheduleExec arms the single in-flight execute event for t.
+func (c *Core) scheduleExec(t *hwthread.Context, delay sim.Cycles) {
+	if ev := c.execEv[t.PTID]; ev != nil {
+		ev.Cancel()
+	}
+	c.execEv[t.PTID] = c.eng.After(delay, "exec", func() {
+		c.execEv[t.PTID] = nil
+		c.execOne(t)
+	})
+}
+
+// InjectDelay pushes a runnable thread's next instruction back by d cycles —
+// used by the legacy IRQ path to model handler time stolen from the
+// interrupted thread.
+func (c *Core) InjectDelay(p hwthread.PTID, d sim.Cycles) {
+	t := c.threads.Context(p)
+	if t == nil || t.State != hwthread.Runnable {
+		return
+	}
+	c.scheduleExec(t, d)
+}
+
+// SetFatal records an unrecoverable machine fault.
+func (c *Core) SetFatal(p hwthread.PTID, f *hwthread.Fault) {
+	if c.fatal == nil {
+		c.fatal = fmt.Errorf("core %d: %w", c.id, f)
+	}
+	if c.OnFatal != nil {
+		c.OnFatal(p, f)
+	}
+}
+
+// raise runs the §3.1 exception path on t and handles the no-handler case.
+func (c *Core) raise(t *hwthread.Context, cause hwthread.ExcCause, info int64) {
+	c.suspend(t)
+	if f := c.threads.RaiseException(t, cause, info); f != nil {
+		c.SetFatal(t.PTID, f)
+	}
+}
+
+// AccessCost charges the cache hierarchy for one access from native code.
+func (c *Core) AccessCost(addr int64) sim.Cycles { return c.hier.AccessCycles(addr) }
+
+// ReadWord reads simulated memory (no timing; pair with AccessCost).
+func (c *Core) ReadWord(addr int64) int64 { return c.mem.Read(addr) }
+
+// WriteWord writes simulated memory as a CPU store (observers fire).
+func (c *Core) WriteWord(addr, val int64) { c.mem.Write(addr, val, mem.SrcCPU) }
+
+// ArmWatches arms monitor watches for a thread from native code without
+// blocking. Use with WaitArmed to implement the race-free service idiom:
+// arm first, then drain pending work, then wait — a write that lands during
+// the drain is caught by the monitor's pending flag and WaitArmed completes
+// immediately instead of sleeping through it.
+func (c *Core) ArmWatches(t *hwthread.Context, addrs ...int64) {
+	w := c.waiters[t.PTID]
+	for _, a := range addrs {
+		c.mon.Arm(w, a)
+	}
+}
+
+// WaitArmed blocks the thread on its previously armed watches (MWAIT from
+// native code). It returns true if the thread blocked; false if a watched
+// write already landed (the wake was delivered synchronously and the thread
+// keeps running). The thread's PC is NOT advanced: a blocked thread
+// re-enters the same native instruction on wakeup (service-loop idiom).
+func (c *Core) WaitArmed(t *hwthread.Context) bool {
+	if c.mon.Wait(c.waiters[t.PTID]) {
+		t.State = hwthread.Waiting
+		c.suspend(t)
+		return true
+	}
+	return false
+}
+
+// ArmAndWait arms watches and immediately waits — only safe when no work
+// check happens between arming and waiting (otherwise use ArmWatches +
+// WaitArmed around the check).
+func (c *Core) ArmAndWait(t *hwthread.Context, addrs ...int64) bool {
+	c.ArmWatches(t, addrs...)
+	return c.WaitArmed(t)
+}
+
+// StopThread disables a ptid directly (supervisor/native path), cancelling
+// any monitor wait.
+func (c *Core) StopThread(p hwthread.PTID) {
+	t := c.threads.Context(p)
+	if t == nil || t.State == hwthread.Disabled {
+		return
+	}
+	if t.State == hwthread.Waiting {
+		c.mon.CancelWait(c.waiters[p])
+	}
+	t.State = hwthread.Disabled
+	t.Stops++
+	c.suspend(t)
+}
+
+// StartThreadSupervised enables a ptid from native/kernel code after the
+// caller has set up its registers (the kernel-side `start`), charging the
+// thread-op cost to the caller implicitly (natives declare their own cost).
+func (c *Core) StartThreadSupervised(p hwthread.PTID) error {
+	t := c.threads.Context(p)
+	if t == nil {
+		return fmt.Errorf("core %d: no ptid %d", c.id, p)
+	}
+	if t.Prog == nil {
+		return fmt.Errorf("core %d: ptid %d has no program", c.id, p)
+	}
+	if t.State != hwthread.Disabled {
+		return nil
+	}
+	t.State = hwthread.Runnable
+	t.Starts++
+	c.resume(t)
+	return nil
+}

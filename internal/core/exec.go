@@ -1,0 +1,350 @@
+package core
+
+import (
+	"nocs/internal/hwthread"
+	"nocs/internal/isa"
+	"nocs/internal/sim"
+)
+
+// execOne executes a single instruction for t and schedules the next one.
+// Blocking opcodes (mwait, halt, faults, descriptor-path syscalls) leave the
+// thread suspended; everything else reschedules after the charged latency.
+func (c *Core) execOne(t *hwthread.Context) {
+	if c.fatal != nil || t.State != hwthread.Runnable {
+		return
+	}
+	if t.Prog == nil {
+		c.raise(t, hwthread.ExcInvalidOpcode, t.Regs.PC)
+		return
+	}
+	in, ok := t.Prog.At(t.Regs.PC)
+	if !ok {
+		c.raise(t, hwthread.ExcInvalidOpcode, t.Regs.PC)
+		return
+	}
+	if c.OnExec != nil {
+		c.OnExec(t.PTID, t.Regs.PC, in, c.eng.Now())
+	}
+
+	r := &t.Regs
+	base := sim.Cycles(in.Op.Latency())
+	extra := sim.Cycles(0)
+	nextPC := r.PC + 1
+	wasFPDirty := r.FPDirty
+
+	// Privileged instructions in user mode never execute their semantics:
+	// they either exit to a legacy hypervisor in-thread, or disable the
+	// thread with a descriptor (§3.2 instruction emulation path).
+	if in.Op.IsPrivileged() && !t.Supervisor() {
+		c.retired++
+		t.Retired++
+		if c.IsGuest(t.PTID) && c.LegacyVMExit != nil {
+			// Legacy virtualization: in-thread VM-exit round trip, then the
+			// hypervisor has emulated the instruction; continue at PC+1.
+			cost := c.costs.VMExit + c.LegacyVMExit(c, t) + c.costs.VMEntry
+			r.PC = nextPC
+			c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+cost))
+			return
+		}
+		r.PC = nextPC // emulation resumes after the instruction
+		if c.IsGuest(t.PTID) {
+			c.raise(t, hwthread.ExcVMExit, int64(in.Op))
+		} else {
+			c.raise(t, hwthread.ExcPrivilege, int64(in.Op))
+		}
+		return
+	}
+
+	switch in.Op {
+	case isa.NOP:
+
+	case isa.ADD:
+		r.Set(in.Rd, r.Get(in.Rs1)+r.Get(in.Rs2))
+	case isa.SUB:
+		r.Set(in.Rd, r.Get(in.Rs1)-r.Get(in.Rs2))
+	case isa.MUL:
+		r.Set(in.Rd, r.Get(in.Rs1)*r.Get(in.Rs2))
+	case isa.DIV:
+		d := r.Get(in.Rs2)
+		if d == 0 {
+			c.retired++
+			t.Retired++
+			c.raise(t, hwthread.ExcDivideByZero, r.PC)
+			return
+		}
+		r.Set(in.Rd, r.Get(in.Rs1)/d)
+	case isa.AND:
+		r.Set(in.Rd, r.Get(in.Rs1)&r.Get(in.Rs2))
+	case isa.OR:
+		r.Set(in.Rd, r.Get(in.Rs1)|r.Get(in.Rs2))
+	case isa.XOR:
+		r.Set(in.Rd, r.Get(in.Rs1)^r.Get(in.Rs2))
+	case isa.SHL:
+		r.Set(in.Rd, r.Get(in.Rs1)<<(uint64(r.Get(in.Rs2))&63))
+	case isa.SHR:
+		r.Set(in.Rd, int64(uint64(r.Get(in.Rs1))>>(uint64(r.Get(in.Rs2))&63)))
+	case isa.SLT:
+		if r.Get(in.Rs1) < r.Get(in.Rs2) {
+			r.Set(in.Rd, 1)
+		} else {
+			r.Set(in.Rd, 0)
+		}
+	case isa.ADDI:
+		r.Set(in.Rd, r.Get(in.Rs1)+in.Imm)
+	case isa.MOVI:
+		r.Set(in.Rd, in.Imm)
+	case isa.MOV:
+		r.Set(in.Rd, r.Get(in.Rs1))
+
+	case isa.FADD:
+		r.SetF(in.Rd, r.GetF(in.Rs1)+r.GetF(in.Rs2))
+	case isa.FMUL:
+		r.SetF(in.Rd, r.GetF(in.Rs1)*r.GetF(in.Rs2))
+	case isa.FMOVI:
+		r.SetF(in.Rd, float64(in.Imm))
+	case isa.FMOV:
+		r.SetF(in.Rd, r.GetF(in.Rs1))
+
+	case isa.LD:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += c.hier.AccessCycles(addr)
+		r.Set(in.Rd, c.mem.Read(addr))
+	case isa.ST:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += c.hier.AccessCycles(addr)
+		c.WriteWord(addr, r.Get(in.Rs2))
+
+	case isa.JMP:
+		nextPC = in.Imm
+	case isa.JAL:
+		r.Set(in.Rd, r.PC+1)
+		nextPC = in.Imm
+	case isa.JR:
+		nextPC = r.Get(in.Rs1)
+	case isa.BEQ:
+		if r.Get(in.Rs1) == r.Get(in.Rs2) {
+			nextPC = in.Imm
+		}
+	case isa.BNE:
+		if r.Get(in.Rs1) != r.Get(in.Rs2) {
+			nextPC = in.Imm
+		}
+	case isa.BLT:
+		if r.Get(in.Rs1) < r.Get(in.Rs2) {
+			nextPC = in.Imm
+		}
+	case isa.BGE:
+		if r.Get(in.Rs1) >= r.Get(in.Rs2) {
+			nextPC = in.Imm
+		}
+
+	case isa.HALT:
+		c.retired++
+		t.Retired++
+		t.State = hwthread.Disabled
+		t.Stops++
+		t.LastHalt = c.eng.Now()
+		c.suspend(t)
+		return
+
+	case isa.MONITOR:
+		extra += c.costs.ThreadOp
+		c.mon.Arm(c.waiters[t.PTID], r.Get(in.Rs1))
+
+	case isa.MWAIT:
+		c.retired++
+		t.Retired++
+		r.PC = nextPC // resume point after the wakeup
+		if c.mon.Wait(c.waiters[t.PTID]) {
+			t.State = hwthread.Waiting
+			c.suspend(t)
+			return
+		}
+		// A watched write already landed: fall through, continue executing.
+		c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+c.costs.ThreadOp))
+		return
+
+	case isa.START:
+		extra += c.costs.ThreadOp
+		target, f := c.threads.Start(t, hwthread.VTID(r.Get(in.Rs1)))
+		if f != nil {
+			c.retired++
+			t.Retired++
+			c.raise(t, f.Cause, f.Info)
+			return
+		}
+		// A freshly-enabled thread is runnable but not yet on the pipeline.
+		if target.State == hwthread.Runnable && !c.pipe.Contains(int(target.PTID)) {
+			c.resume(target)
+		}
+
+	case isa.STOP:
+		extra += c.costs.ThreadOp
+		target, f := c.threads.Stop(t, hwthread.VTID(r.Get(in.Rs1)))
+		if f != nil {
+			c.retired++
+			t.Retired++
+			c.raise(t, f.Cause, f.Info)
+			return
+		}
+		c.mon.CancelWait(c.waiters[target.PTID])
+		c.suspend(target)
+		if target == t {
+			// Stopped ourselves: account and stay disabled.
+			c.retired++
+			t.Retired++
+			r.PC = nextPC
+			return
+		}
+
+	case isa.RPULL:
+		extra += c.costs.ThreadOp
+		val, f := c.threads.Rpull(t, hwthread.VTID(r.Get(in.Rs1)), isa.Reg(in.Imm))
+		if f != nil {
+			c.retired++
+			t.Retired++
+			c.raise(t, f.Cause, f.Info)
+			return
+		}
+		r.Set(in.Rd, val)
+
+	case isa.RPUSH:
+		extra += c.costs.ThreadOp
+		f := c.threads.Rpush(t, hwthread.VTID(r.Get(in.Rs1)), isa.Reg(in.Imm), r.Get(in.Rs2))
+		if f != nil {
+			c.retired++
+			t.Retired++
+			c.raise(t, f.Cause, f.Info)
+			return
+		}
+		// Remote register writes can grow the target's state footprint.
+		if isa.Reg(in.Imm).IsFP() {
+			if e, ferr := c.threads.Translate(t, hwthread.VTID(r.Get(in.Rs1))); ferr == nil {
+				tgt := c.threads.Context(e.PTID)
+				_ = c.store.Resize(int(tgt.PTID), tgt.Regs.StateBytes())
+			}
+		}
+
+	case isa.INVTID:
+		extra += c.costs.ThreadOp
+		remote := hwthread.VTID(r.Get(in.Rs2))
+		// Invalidation must not itself translate (that would re-cache the
+		// very row being invalidated). The first operand names whose cache
+		// to flush; it is resolved against the caller's *existing* cached
+		// translations only, and the caller's own cached row is always
+		// dropped too.
+		if e, ok := t.CachedEntry(hwthread.VTID(r.Get(in.Rs1))); ok && e.Valid() {
+			if tgt := c.threads.Context(e.PTID); tgt != nil {
+				tgt.InvalidateVTID(remote)
+			}
+		}
+		t.InvalidateVTID(remote)
+
+	case isa.SYSCALL:
+		c.retired++
+		t.Retired++
+		if c.LegacySyscall != nil {
+			// Legacy personality: in-thread privilege switch, handler runs
+			// in this very hardware thread, then switches back.
+			cost := c.costs.SyscallEntry
+			if c.KernelUsesFP && r.FPDirty {
+				cost += c.costs.FPSaveRestore
+			}
+			cost += c.LegacySyscall(c, t)
+			cost += c.costs.SyscallExit
+			r.PC = nextPC
+			c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+cost))
+			return
+		}
+		// nocs personality: exception-less syscall — write a descriptor and
+		// disable; the kernel's syscall ptid is mwait-ing on the doorbell.
+		r.PC = nextPC
+		c.raise(t, hwthread.ExcSyscall, r.GPR[1])
+		return
+
+	case isa.VMCALL:
+		c.retired++
+		t.Retired++
+		if c.LegacyVMExit != nil {
+			cost := c.costs.VMExit + c.LegacyVMExit(c, t) + c.costs.VMEntry
+			r.PC = nextPC
+			c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+cost))
+			return
+		}
+		r.PC = nextPC
+		c.raise(t, hwthread.ExcVMExit, r.GPR[1])
+		return
+
+	case isa.SYSRET:
+		// Supervisor-only (checked above): drop to user mode.
+		extra += c.costs.SyscallExit
+		r.Mode = 0
+	case isa.IRET:
+		extra += c.costs.IRQExit
+		r.Mode = 0
+	case isa.VMRESUME:
+		extra += c.costs.VMEntry
+	case isa.WRMSR, isa.RDMSR:
+		extra += 30 // model MSR access as a fixed microcode cost
+	case isa.HLT:
+		// Legacy idle: block until an interrupt wakes the core.
+		c.retired++
+		t.Retired++
+		r.PC = nextPC
+		t.State = hwthread.Waiting
+		c.halted[t.PTID] = true
+		c.suspend(t)
+		return
+
+	case isa.NATIVE:
+		fn, ok := c.natives[in.Sym]
+		if !ok {
+			c.retired++
+			t.Retired++
+			c.raise(t, hwthread.ExcInvalidOpcode, r.PC)
+			return
+		}
+		extra += fn(c, t)
+		c.retired++
+		t.Retired++
+		if t.State != hwthread.Runnable {
+			// The native blocked or disabled this thread. Its PC was left at
+			// this instruction unless the native moved it: blocked threads
+			// re-enter the native on wake (service-loop idiom).
+			return
+		}
+		r.PC = nextPC
+		c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+extra))
+		return
+
+	default:
+		c.retired++
+		t.Retired++
+		c.raise(t, hwthread.ExcInvalidOpcode, int64(in.Op))
+		return
+	}
+
+	// FP state growth: crossing into vector-dirty doubles the architectural
+	// footprint (272 → 784 bytes, §4).
+	if !wasFPDirty && r.FPDirty {
+		_ = c.store.Resize(int(t.PTID), r.StateBytes())
+	}
+
+	c.retired++
+	t.Retired++
+	r.PC = nextPC
+	c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+extra))
+}
+
+// WakeFromHalt resumes a thread parked by the legacy HLT instruction (the
+// IRQ controller calls this when delivering an interrupt to an idle core).
+func (c *Core) WakeFromHalt(p hwthread.PTID) {
+	t := c.threads.Context(p)
+	if t == nil || !c.halted[p] || t.State != hwthread.Waiting {
+		return
+	}
+	delete(c.halted, p)
+	t.State = hwthread.Runnable
+	t.Wakeups++
+	c.resume(t)
+}

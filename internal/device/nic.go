@@ -1,0 +1,216 @@
+package device
+
+import (
+	"fmt"
+
+	"nocs/internal/mem"
+	"nocs/internal/sim"
+)
+
+// NIC RX descriptor layout (24 bytes per slot at RingBase + 24*slot):
+//
+//	+0:  buffer address
+//	+8:  payload length in words
+//	+16: ready flag (device writes 1, software clears)
+const (
+	rxDescBytes = 24
+	rxDescBuf   = 0
+	rxDescLen   = 8
+	rxDescReady = 16
+)
+
+// NIC TX descriptor layout (24 bytes per slot at TXRingBase + 24*slot):
+//
+//	+0:  buffer address
+//	+8:  payload length in words
+//	+16: done flag (device writes 1 after transmit)
+const (
+	txDescBytes = 24
+	txDescBuf   = 0
+	txDescLen   = 8
+	txDescDone  = 16
+)
+
+// NICConfig lays out a NIC's receive path in physical memory.
+type NICConfig struct {
+	// RingBase is the RX descriptor ring's base address.
+	RingBase int64
+	// RingEntries is the ring size (default 256).
+	RingEntries int
+	// BufBase and BufStride place the packet buffers.
+	BufBase   int64
+	BufStride int64
+	// TailAddr is the RX tail word: a monotonically increasing count of
+	// delivered packets. This is the address the paper's network thread
+	// monitors ("wait on the RX queue tail until packet arrival").
+	TailAddr int64
+	// HeadAddr is where software publishes its consumption count, so the
+	// device can detect ring overrun. Zero disables overrun detection.
+	HeadAddr int64
+	// DMACycles is the per-packet DMA latency (default 300, ~100 ns at
+	// 3 GHz — wire-to-memory time for a small packet on a fast NIC).
+	DMACycles sim.Cycles
+
+	// Transmit side (optional; zero TXDoorbell disables it).
+	// TXRingBase is the TX descriptor ring; TXEntries its size (default 256).
+	TXRingBase int64
+	TXEntries  int
+	// TXDoorbell is the MMIO register software stores the new TX tail to
+	// (map the NIC with Memory.MapMMIO(TXDoorbell, 8, nic)).
+	TXDoorbell int64
+	// TXCompAddr is the monitorable transmit-completion counter.
+	TXCompAddr int64
+	// TXCycles is the per-packet transmit latency (default 300).
+	TXCycles sim.Cycles
+}
+
+func (c *NICConfig) setDefaults() {
+	if c.RingEntries == 0 {
+		c.RingEntries = 256
+	}
+	if c.BufStride == 0 {
+		c.BufStride = 2048
+	}
+	if c.DMACycles == 0 {
+		c.DMACycles = 300
+	}
+	if c.TXEntries == 0 {
+		c.TXEntries = 256
+	}
+	if c.TXCycles == 0 {
+		c.TXCycles = 300
+	}
+}
+
+// NIC is a network interface model: DMA receive ring plus an MMIO-doorbell
+// transmit ring.
+type NIC struct {
+	cfg NICConfig
+	eng *sim.Engine
+	dma *mem.DMA
+	sig Signal
+
+	delivered uint64 // packets DMA'd into the RX ring
+	dropped   uint64 // RX ring-overrun drops
+
+	txHead      int64 // next TX slot the device will transmit
+	txTail      int64 // last doorbell value
+	transmitted uint64
+	// OnTransmit, if set, observes each transmitted payload (the "wire").
+	OnTransmit func(payload []int64)
+}
+
+// NewNIC builds a NIC writing through the given DMA port.
+func NewNIC(cfg NICConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *NIC {
+	cfg.setDefaults()
+	return &NIC{cfg: cfg, eng: eng, dma: dma, sig: sig}
+}
+
+// Config returns the effective configuration.
+func (n *NIC) Config() NICConfig { return n.cfg }
+
+// TailAddr returns the monitorable RX tail address.
+func (n *NIC) TailAddr() int64 { return n.cfg.TailAddr }
+
+// Deliver schedules arrival of one packet with the given payload words.
+// After the DMA latency the device writes payload, descriptor, and finally
+// the RX tail (doorbell-last ordering), then raises the legacy vector if
+// configured. It returns the simulated time at which the tail write lands.
+func (n *NIC) Deliver(payload []int64) sim.Cycles {
+	at := n.eng.Now() + n.cfg.DMACycles
+	n.eng.After(n.cfg.DMACycles, "nic-rx", func() {
+		tail := n.dma.Read(n.cfg.TailAddr)
+		if n.cfg.HeadAddr != 0 {
+			head := n.dma.Read(n.cfg.HeadAddr)
+			if tail-head >= int64(n.cfg.RingEntries) {
+				n.dropped++
+				return
+			}
+		}
+		slot := tail % int64(n.cfg.RingEntries)
+		bufAddr := n.cfg.BufBase + slot*n.cfg.BufStride
+		n.dma.WriteBytesAsWords(bufAddr, payload)
+		desc := n.cfg.RingBase + slot*rxDescBytes
+		n.dma.Write(desc+rxDescBuf, bufAddr)
+		n.dma.Write(desc+rxDescLen, int64(len(payload)))
+		n.dma.Write(desc+rxDescReady, 1)
+		// Tail last: a monitor wake on the tail sees a complete descriptor.
+		n.dma.Write(n.cfg.TailAddr, tail+1)
+		n.delivered++
+		n.sig.raise()
+	})
+	return at
+}
+
+// ReadDesc decodes RX descriptor slot i (test and driver helper).
+func (n *NIC) ReadDesc(i int64) (bufAddr, length int64, ready bool) {
+	desc := n.cfg.RingBase + (i%int64(n.cfg.RingEntries))*rxDescBytes
+	return n.dma.Read(desc + rxDescBuf),
+		n.dma.Read(desc + rxDescLen),
+		n.dma.Read(desc+rxDescReady) != 0
+}
+
+// Stats returns (delivered, dropped).
+func (n *NIC) Stats() (delivered, dropped uint64) { return n.delivered, n.dropped }
+
+// Transmitted returns the number of packets sent through the TX ring.
+func (n *NIC) Transmitted() uint64 { return n.transmitted }
+
+var _ mem.MMIOHandler = (*NIC)(nil)
+
+// MMIORead exposes the TX head so drivers can compute free TX slots.
+func (n *NIC) MMIORead(addr int64) int64 {
+	if addr == n.cfg.TXDoorbell && n.cfg.TXDoorbell != 0 {
+		return n.txHead
+	}
+	return 0
+}
+
+// MMIOWrite is the TX doorbell: software publishes a new TX tail after
+// filling descriptors; the device transmits each packet after the wire
+// latency, marks its descriptor done, advances the completion counter
+// (doorbell-last), and raises the legacy vector if configured.
+func (n *NIC) MMIOWrite(addr int64, val int64) {
+	if addr != n.cfg.TXDoorbell || n.cfg.TXDoorbell == 0 {
+		return
+	}
+	if val > n.txTail {
+		n.txTail = val
+	}
+	for n.txHead < n.txTail {
+		slot := n.txHead % int64(n.cfg.TXEntries)
+		n.txHead++
+		seq := n.txHead
+		n.eng.After(n.cfg.TXCycles, "nic-tx", func() {
+			desc := n.cfg.TXRingBase + slot*txDescBytes
+			if n.OnTransmit != nil {
+				buf := n.dma.Read(desc + txDescBuf)
+				length := n.dma.Read(desc + txDescLen)
+				payload := make([]int64, length)
+				for i := range payload {
+					payload[i] = n.dma.Read(buf + int64(i*8))
+				}
+				n.OnTransmit(payload)
+			}
+			n.dma.Write(desc+txDescDone, 1)
+			if n.cfg.TXCompAddr != 0 {
+				n.dma.Write(n.cfg.TXCompAddr, seq)
+			}
+			n.transmitted++
+			n.sig.raise()
+		})
+	}
+}
+
+// WriteTXDesc fills TX descriptor slot i (driver helper).
+func (n *NIC) WriteTXDesc(m *mem.Memory, i int64, bufAddr, length int64) {
+	desc := n.cfg.TXRingBase + (i%int64(n.cfg.TXEntries))*txDescBytes
+	m.Write(desc+txDescBuf, bufAddr, mem.SrcCPU)
+	m.Write(desc+txDescLen, length, mem.SrcCPU)
+	m.Write(desc+txDescDone, 0, mem.SrcCPU)
+}
+
+// String describes the NIC.
+func (n *NIC) String() string {
+	return fmt.Sprintf("nic{ring=%d tail=%#x}", n.cfg.RingEntries, n.cfg.TailAddr)
+}

@@ -1,0 +1,89 @@
+package device
+
+import (
+	"nocs/internal/mem"
+	"nocs/internal/sim"
+)
+
+// TimerConfig describes an APIC-style per-core timer.
+type TimerConfig struct {
+	// CounterAddr is the memory word the timer increments on each tick —
+	// §3.1: "each core's APIC timer can increment a counter every time a
+	// timer interrupt is triggered. In turn, the hardware thread hosting
+	// the kernel scheduler can monitor/mwait on that memory location."
+	CounterAddr int64
+	// Period is the tick interval in cycles (default 30000 ≈ 10 µs @3GHz).
+	Period sim.Cycles
+}
+
+// Timer is the tick source. Each tick performs an MSI-style memory write
+// (mem.SrcMSI) and, in legacy mode, raises the timer vector.
+type Timer struct {
+	cfg TimerConfig
+	eng *sim.Engine
+	dma *mem.DMA
+	sig Signal
+
+	running bool
+	ticks   uint64
+	ev      *sim.Event
+}
+
+// NewTimer builds a timer writing through the given DMA port (timers are
+// "devices" for visibility purposes: their counter writes must be
+// monitorable like any external event).
+func NewTimer(cfg TimerConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *Timer {
+	if cfg.Period == 0 {
+		cfg.Period = 30000
+	}
+	return &Timer{cfg: cfg, eng: eng, dma: dma, sig: sig}
+}
+
+// Config returns the effective configuration.
+func (t *Timer) Config() TimerConfig { return t.cfg }
+
+// Start begins periodic ticking. Starting a running timer is a no-op.
+func (t *Timer) Start() {
+	if t.running {
+		return
+	}
+	t.running = true
+	t.schedule()
+}
+
+// Stop halts the timer.
+func (t *Timer) Stop() {
+	t.running = false
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Running reports whether the timer is ticking.
+func (t *Timer) Running() bool { return t.running }
+
+// Ticks returns the number of ticks fired.
+func (t *Timer) Ticks() uint64 { return t.ticks }
+
+// FireOnce triggers an immediate single tick (one-shot mode), regardless of
+// the periodic state.
+func (t *Timer) FireOnce() {
+	t.tick()
+}
+
+func (t *Timer) schedule() {
+	t.ev = t.eng.After(t.cfg.Period, "timer", func() {
+		if !t.running {
+			return
+		}
+		t.tick()
+		t.schedule()
+	})
+}
+
+func (t *Timer) tick() {
+	t.ticks++
+	t.dma.Write(t.cfg.CounterAddr, int64(t.ticks))
+	t.sig.raise()
+}

@@ -1,0 +1,150 @@
+package hwthread
+
+import (
+	"fmt"
+
+	"nocs/internal/isa"
+)
+
+// Secret-key authorization: §3.2's alternative to the TDT.
+//
+//	"An alternative to the TDT could be a secret-key-based design. Threads
+//	 that perform thread management would need to provide the target
+//	 thread's secret key if they are not running in privileged mode. Each
+//	 thread would set its own key and share it with other threads using
+//	 existing software mechanisms, e.g., shared memory or pipes."
+//
+// The key authorizes the full capability set (start/stop/modify) — it is a
+// bearer token, coarser than the TDT's 4-bit nibble but requiring no table
+// walk or translation cache. KeyAuth coexists with the TDT Manager: the
+// same contexts can be managed by either mechanism, which is how a kernel
+// would migrate between them.
+
+// Key is a thread-management bearer token. Zero means "no key set": the
+// thread cannot be managed through the key mechanism at all.
+type Key uint64
+
+// KeyAuth manages per-thread secret keys for a Manager's contexts.
+type KeyAuth struct {
+	mgr  *Manager
+	keys map[PTID]Key
+
+	grants uint64
+	denies uint64
+}
+
+// NewKeyAuth attaches a key table to a thread manager.
+func NewKeyAuth(mgr *Manager) *KeyAuth {
+	return &KeyAuth{mgr: mgr, keys: make(map[PTID]Key)}
+}
+
+// SetKey installs a thread's secret key. Only the thread itself or a
+// supervisor may set it ("each thread would set its own key").
+func (a *KeyAuth) SetKey(caller *Context, target PTID, k Key) *Fault {
+	t := a.mgr.Context(target)
+	if t == nil {
+		return &Fault{Cause: ExcTDTFault, Info: int64(target), Msg: fmt.Sprintf("no ptid %d", target)}
+	}
+	if caller.PTID != target && !caller.Supervisor() {
+		a.denies++
+		return &Fault{Cause: ExcPrivilege, Info: int64(target), Msg: "only the thread itself or a supervisor may set its key"}
+	}
+	if k == 0 {
+		delete(a.keys, target)
+	} else {
+		a.keys[target] = k
+	}
+	return nil
+}
+
+// authorize checks the presented key against the target's. Supervisors
+// bypass (as with the TDT).
+func (a *KeyAuth) authorize(caller *Context, target PTID, presented Key) *Fault {
+	if caller.Supervisor() {
+		a.grants++
+		return nil
+	}
+	k, ok := a.keys[target]
+	if !ok || presented == 0 || presented != k {
+		a.denies++
+		return &Fault{Cause: ExcTDTFault, Info: int64(target), Msg: fmt.Sprintf("bad key for ptid %d", target)}
+	}
+	a.grants++
+	return nil
+}
+
+// Start enables a thread if the presented key matches.
+func (a *KeyAuth) Start(caller *Context, target PTID, presented Key) (*Context, *Fault) {
+	t := a.mgr.Context(target)
+	if t == nil {
+		return nil, &Fault{Cause: ExcTDTFault, Info: int64(target), Msg: fmt.Sprintf("no ptid %d", target)}
+	}
+	if f := a.authorize(caller, target, presented); f != nil {
+		return nil, f
+	}
+	if t.State == Disabled {
+		t.State = Runnable
+		t.Starts++
+	}
+	return t, nil
+}
+
+// Stop disables a thread if the presented key matches.
+func (a *KeyAuth) Stop(caller *Context, target PTID, presented Key) (*Context, *Fault) {
+	t := a.mgr.Context(target)
+	if t == nil {
+		return nil, &Fault{Cause: ExcTDTFault, Info: int64(target), Msg: fmt.Sprintf("no ptid %d", target)}
+	}
+	if f := a.authorize(caller, target, presented); f != nil {
+		return nil, f
+	}
+	if t.State != Disabled {
+		t.State = Disabled
+		t.Stops++
+	}
+	return t, nil
+}
+
+// Rpull reads a disabled thread's register under key authorization.
+// The TDT-register restriction still applies (§3.2): only supervisors may
+// touch another thread's TDT base, key or no key.
+func (a *KeyAuth) Rpull(caller *Context, target PTID, presented Key, r isa.Reg) (int64, *Fault) {
+	t, f := a.remoteTarget(caller, target, presented, r)
+	if f != nil {
+		return 0, f
+	}
+	return t.Regs.Get(r), nil
+}
+
+// Rpush writes a disabled thread's register under key authorization.
+func (a *KeyAuth) Rpush(caller *Context, target PTID, presented Key, r isa.Reg, val int64) *Fault {
+	t, f := a.remoteTarget(caller, target, presented, r)
+	if f != nil {
+		return f
+	}
+	t.Regs.Set(r, val)
+	return nil
+}
+
+func (a *KeyAuth) remoteTarget(caller *Context, target PTID, presented Key, r isa.Reg) (*Context, *Fault) {
+	t := a.mgr.Context(target)
+	if t == nil {
+		return nil, &Fault{Cause: ExcTDTFault, Info: int64(target), Msg: fmt.Sprintf("no ptid %d", target)}
+	}
+	if !r.Valid() {
+		return nil, &Fault{Cause: ExcInvalidOpcode, Info: int64(r), Msg: "invalid remote register"}
+	}
+	if r == isa.TDT && !caller.Supervisor() {
+		return nil, &Fault{Cause: ExcPrivilege, Info: int64(r), Msg: "TDT register requires supervisor mode"}
+	}
+	if f := a.authorize(caller, target, presented); f != nil {
+		return nil, f
+	}
+	if t.State != Disabled {
+		return nil, &Fault{Cause: ExcTDTFault, Info: int64(target), Msg: fmt.Sprintf("remote register access to %v ptid %d", t.State, t.PTID)}
+	}
+	return t, nil
+}
+
+// Stats returns (granted, denied) authorization counts.
+func (a *KeyAuth) Stats() (grants, denies uint64) { return a.grants, a.denies }

@@ -1,0 +1,151 @@
+package hwthread
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocs/internal/isa"
+	"nocs/internal/mem"
+)
+
+func keyRig(n int) (*Manager, *KeyAuth) {
+	mgr := NewManager(mem.NewMemory(), n)
+	return mgr, NewKeyAuth(mgr)
+}
+
+func TestSetKeySelfAndSupervisor(t *testing.T) {
+	mgr, a := keyRig(4)
+	self := mgr.Context(1)
+	// A thread sets its own key.
+	if f := a.SetKey(self, 1, 0xdead); f != nil {
+		t.Fatal(f)
+	}
+	// A random user thread cannot set another's key.
+	other := mgr.Context(2)
+	if f := a.SetKey(other, 1, 0xbeef); f == nil {
+		t.Fatal("foreign key set accepted")
+	}
+	// A supervisor can.
+	sup := mgr.Context(0)
+	sup.Regs.Mode = 1
+	if f := a.SetKey(sup, 1, 0xbeef); f != nil {
+		t.Fatal(f)
+	}
+	if f := a.SetKey(sup, 99, 1); f == nil {
+		t.Fatal("bad ptid accepted")
+	}
+}
+
+func TestKeyStartStop(t *testing.T) {
+	mgr, a := keyRig(4)
+	owner := mgr.Context(1)
+	a.SetKey(owner, 1, 42)
+	caller := mgr.Context(2)
+
+	// Wrong key: denied.
+	if _, f := a.Start(caller, 1, 41); f == nil {
+		t.Fatal("wrong key accepted")
+	}
+	// No key presented: denied.
+	if _, f := a.Start(caller, 1, 0); f == nil {
+		t.Fatal("zero key accepted")
+	}
+	// Correct key (shared "via shared memory or pipes"): allowed.
+	tc, f := a.Start(caller, 1, 42)
+	if f != nil || tc.State != Runnable {
+		t.Fatalf("keyed start: %v %v", tc, f)
+	}
+	if _, f := a.Stop(caller, 1, 42); f != nil {
+		t.Fatal(f)
+	}
+	if mgr.Context(1).State != Disabled {
+		t.Fatal("not stopped")
+	}
+	grants, denies := a.Stats()
+	if grants != 2 || denies != 2 {
+		t.Fatalf("stats %d/%d", grants, denies)
+	}
+}
+
+func TestKeyRpullRpush(t *testing.T) {
+	mgr, a := keyRig(4)
+	owner := mgr.Context(1)
+	a.SetKey(owner, 1, 7)
+	caller := mgr.Context(2)
+
+	if f := a.Rpush(caller, 1, 7, isa.R5, 99); f != nil {
+		t.Fatal(f)
+	}
+	v, f := a.Rpull(caller, 1, 7, isa.R5)
+	if f != nil || v != 99 {
+		t.Fatalf("rpull %d %v", v, f)
+	}
+	// TDT register still supervisor-only even with the right key.
+	if f := a.Rpush(caller, 1, 7, isa.TDT, 0x1000); f == nil || f.Cause != ExcPrivilege {
+		t.Fatalf("TDT write with key: %v", f)
+	}
+	// Running targets are not remotely accessible.
+	mgr.Context(1).State = Runnable
+	if _, f := a.Rpull(caller, 1, 7, isa.R5); f == nil {
+		t.Fatal("rpull of runnable thread")
+	}
+	mgr.Context(1).State = Disabled
+	if _, f := a.Rpull(caller, 1, 7, isa.NumRegs); f == nil {
+		t.Fatal("invalid register")
+	}
+	if _, f := a.Rpull(caller, 99, 7, isa.R5); f == nil {
+		t.Fatal("bad ptid")
+	}
+}
+
+func TestKeyRevocation(t *testing.T) {
+	mgr, a := keyRig(2)
+	owner := mgr.Context(1)
+	a.SetKey(owner, 1, 5)
+	caller := mgr.Context(0)
+	if _, f := a.Start(caller, 1, 5); f != nil {
+		t.Fatal(f)
+	}
+	// Rotating the key revokes old bearers.
+	a.SetKey(owner, 1, 6)
+	if _, f := a.Stop(caller, 1, 5); f == nil {
+		t.Fatal("stale key accepted after rotation")
+	}
+	// Setting key 0 disables the mechanism entirely.
+	a.SetKey(owner, 1, 0)
+	if _, f := a.Stop(caller, 1, 6); f == nil {
+		t.Fatal("key accepted after removal")
+	}
+}
+
+func TestSupervisorBypassesKeys(t *testing.T) {
+	mgr, a := keyRig(2)
+	sup := mgr.Context(0)
+	sup.Regs.Mode = 1
+	// No key ever set: supervisor still manages the thread.
+	if _, f := a.Start(sup, 1, 0); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := a.Stop(sup, 1, 0); f != nil {
+		t.Fatal(f)
+	}
+}
+
+// Property: a user caller is authorized iff the presented key equals the
+// installed key and both are non-zero.
+func TestKeyAuthorizationProperty(t *testing.T) {
+	f := func(installed, presented uint64) bool {
+		mgr, a := keyRig(2)
+		owner := mgr.Context(1)
+		if installed != 0 {
+			a.SetKey(owner, 1, Key(installed))
+		}
+		caller := mgr.Context(0)
+		_, fault := a.Start(caller, 1, Key(presented))
+		want := installed != 0 && presented == installed
+		return (fault == nil) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"nocs/internal/asm"
+	"nocs/internal/hwthread"
+	"nocs/internal/kernel"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+)
+
+// stringOf renders a small non-negative integer for splicing into assembly.
+func stringOf(v int64) string {
+	// small positive ints only
+	digits := ""
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return digits
+}
+
+func TestLegacyTrustedExit(t *testing.T) {
+	m := machine.NewDefault()
+	h := AttachLegacy(m.Core(0), Config{})
+	src := `
+main:
+	movi r7, 0
+loop:
+	movi r1, 1
+	vmcall
+	addi r7, r7, 1
+	movi r8, 3
+	blt r7, r8, loop
+	halt
+`
+	prog := asm.MustAssemble("g", src)
+	m.Core(0).BindProgram(0, prog, "main")
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	total, io := h.Exits()
+	if total != 3 || io != 0 {
+		t.Fatalf("exits %d/%d", total, io)
+	}
+	if m.Core(0).Threads().Context(0).Regs.GPR[7] != 3 {
+		t.Fatal("guest did not complete")
+	}
+	// Each exit costs at least VMExit + emulate + VMEntry = 1200+400+800.
+	if m.Now() < 3*2400 {
+		t.Fatalf("elapsed %v too fast", m.Now())
+	}
+}
+
+func TestLegacyUntrustedCostsMore(t *testing.T) {
+	run := func(untrusted bool, kind ExitKind) sim.Cycles {
+		m := machine.NewDefault()
+		if untrusted {
+			AttachLegacyUntrusted(m.Core(0), Config{})
+		} else {
+			AttachLegacy(m.Core(0), Config{})
+		}
+		src := asm.MustAssemble("g", `
+main:
+	movi r1, `+stringOf(int64(kind))+`
+	vmcall
+	halt
+`)
+		m.Core(0).BindProgram(0, src, "main")
+		m.Core(0).BootStart(0)
+		m.Run(0)
+		return m.Now()
+	}
+	trusted := run(false, ExitCPU)
+	untrusted := run(true, ExitCPU)
+	// Untrusted adds 2 context switches = 2400.
+	if untrusted-trusted != 2400 {
+		t.Fatalf("untrusted penalty %v, want 2400", untrusted-trusted)
+	}
+	trustedIO := run(false, ExitIO)
+	untrustedIO := run(true, ExitIO)
+	// IO adds kernel round trip on top: 2400 + 300.
+	if untrustedIO-trustedIO != 2700 {
+		t.Fatalf("untrusted IO penalty %v, want 2700", untrustedIO-trustedIO)
+	}
+}
+
+func TestLegacyIOExitCounted(t *testing.T) {
+	m := machine.NewDefault()
+	h := AttachLegacy(m.Core(0), Config{})
+	prog := asm.MustAssemble("g", "main:\n\tmovi r1, 2\n\tvmcall\n\thalt")
+	m.Core(0).BindProgram(0, prog, "main")
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	total, io := h.Exits()
+	if total != 1 || io != 1 {
+		t.Fatalf("exits %d/%d", total, io)
+	}
+}
+
+func TestNocsHypervisorHandlesExits(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	prog := asm.MustAssemble("g", `
+main:
+	movi r7, 0
+loop:
+	movi r1, 1
+	vmcall
+	addi r7, r7, 1
+	movi r8, 4
+	blt r7, r8, loop
+	halt
+`)
+	m.Core(0).BindProgram(0, prog, "main")
+	h, err := ServeGuests(k, []hwthread.PTID{0}, 0x90000, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0) // park the hypervisor
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	if h.Exits() != 4 {
+		t.Fatalf("exits %d", h.Exits())
+	}
+	g := m.Core(0).Threads().Context(0)
+	if g.Regs.GPR[7] != 4 || g.State != hwthread.Disabled {
+		t.Fatalf("guest r7=%d state=%v", g.Regs.GPR[7], g.State)
+	}
+}
+
+func TestNocsHypervisorPrivilegedInstructionExit(t *testing.T) {
+	// A guest executing wrmsr exits via descriptor; the hypervisor emulates
+	// and resumes it. The exit reason register holds whatever is in r1 —
+	// here ExitCPU by construction.
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	prog := asm.MustAssemble("g", `
+main:
+	movi r1, 1     ; ExitCPU
+	wrmsr r2, r3   ; privileged in user mode -> descriptor exit
+	movi r7, 1
+	halt
+`)
+	m.Core(0).BindProgram(0, prog, "main")
+	h, err := ServeGuests(k, []hwthread.PTID{0}, 0x90000, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if h.Exits() != 1 {
+		t.Fatalf("exits %d", h.Exits())
+	}
+	if m.Core(0).Threads().Context(0).Regs.GPR[7] != 1 {
+		t.Fatal("guest did not resume after emulation")
+	}
+}
+
+func TestNocsUntrustedIOChain(t *testing.T) {
+	// I/O exit: guest -> hypervisor thread -> kernel thread -> guest.
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	prog := asm.MustAssemble("g", `
+main:
+	movi r1, 2     ; ExitIO
+	vmcall
+	movi r7, 1
+	halt
+`)
+	m.Core(0).BindProgram(0, prog, "main")
+	const mailbox = 0xA0000
+	h, err := ServeGuests(k, []hwthread.PTID{0}, 0x90000, mailbox, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Services() != 2 {
+		t.Fatalf("services %d, want hypervisor + kernel-io", k.Services())
+	}
+	m.Run(0)
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	if h.Exits() != 1 {
+		t.Fatalf("exits %d", h.Exits())
+	}
+	g := m.Core(0).Threads().Context(0)
+	if g.Regs.GPR[7] != 1 {
+		t.Fatal("guest did not resume after kernel I/O chain")
+	}
+}
+
+func TestNocsMultipleGuests(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	prog := asm.MustAssemble("g", `
+main:
+	movi r1, 1
+	vmcall
+	movi r7, 1
+	halt
+`)
+	guests := []hwthread.PTID{0, 1, 2}
+	for _, g := range guests {
+		m.Core(0).BindProgram(g, prog, "main")
+	}
+	h, err := ServeGuests(k, guests, 0x90000, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	for _, g := range guests {
+		m.Core(0).BootStart(g)
+	}
+	m.Run(0)
+	if h.Exits() != 3 {
+		t.Fatalf("exits %d", h.Exits())
+	}
+	for _, g := range guests {
+		if m.Core(0).Threads().Context(g).Regs.GPR[7] != 1 {
+			t.Fatalf("guest %d did not resume", g)
+		}
+	}
+}
+
+func TestServeGuestsBadPtid(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	if _, err := ServeGuests(k, []hwthread.PTID{999}, 0x90000, 0, Config{}); err == nil {
+		t.Fatal("bad guest ptid accepted")
+	}
+}
+
+func TestNocsChainFasterThanLegacyUntrusted(t *testing.T) {
+	// The paper's F11 shape: the deprivileged hw-thread chain must beat the
+	// deprivileged legacy hypervisor.
+	legacy := func() sim.Cycles {
+		m := machine.NewDefault()
+		AttachLegacyUntrusted(m.Core(0), Config{})
+		prog := asm.MustAssemble("g", "main:\n\tmovi r1, 2\n\tvmcall\n\thalt")
+		m.Core(0).BindProgram(0, prog, "main")
+		m.Core(0).BootStart(0)
+		start := m.Now()
+		m.Run(0)
+		return m.Now() - start
+	}()
+	nocs := func() sim.Cycles {
+		m := machine.NewDefault()
+		k := kernel.NewNocs(m.Core(0))
+		prog := asm.MustAssemble("g", "main:\n\tmovi r1, 2\n\tvmcall\n\thalt")
+		m.Core(0).BindProgram(0, prog, "main")
+		ServeGuests(k, []hwthread.PTID{0}, 0x90000, 0xA0000, Config{})
+		m.Run(0)
+		start := m.Now()
+		m.Core(0).BootStart(0)
+		m.Run(0)
+		return m.Now() - start
+	}()
+	if nocs >= legacy {
+		t.Fatalf("nocs chain %v not faster than legacy untrusted %v", nocs, legacy)
+	}
+}
+
+func TestGuestThreadManagementHypercall(t *testing.T) {
+	// §3's virtualization story: vcpu0 asks the hypervisor to map vtid 5 to
+	// its own vcpu1, then starts vcpu1 NATIVELY — no further exits.
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	vcpu0 := asm.MustAssemble("vcpu0", `
+main:
+	movi r1, 3      ; ExitSetVTID
+	movi r2, 5      ; vtid to install
+	movi r3, 1      ; guest-local vcpu index
+	movi r4, 8      ; perms 0b1000 = start only
+	vmcall
+	movi r9, 0
+	bne r1, r9, fail
+	movi r5, 5
+	start r5        ; native start through the installed mapping: NO exit
+	movi r9, 1
+	halt
+fail:
+	halt
+`)
+	vcpu1 := asm.MustAssemble("vcpu1", "main:\n\tmovi r8, 77\n\thalt")
+	m.Core(0).BindProgram(0, vcpu0, "main")
+	m.Core(0).BindProgram(1, vcpu1, "main")
+	h, err := ServeGuests(k, []hwthread.PTID{0, 1}, 0x900000, 0,
+		Config{GuestTDTBase: 0xD00000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	g0 := m.Core(0).Threads().Context(0)
+	if g0.Regs.GPR[9] != 1 {
+		t.Fatalf("vcpu0 failed the hypercall path (r9=%d r1=%d)", g0.Regs.GPR[9], g0.Regs.GPR[1])
+	}
+	if got := m.Core(0).Threads().Context(1).Regs.GPR[8]; got != 77 {
+		t.Fatalf("vcpu1 did not run (r8=%d)", got)
+	}
+	// Exactly ONE exit: the hypercall. The start was pure hardware.
+	if h.Exits() != 1 {
+		t.Fatalf("exits = %d, want 1", h.Exits())
+	}
+}
+
+func TestGuestHypercallValidation(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	guest := asm.MustAssemble("g", `
+main:
+	movi r1, 3
+	movi r2, 5
+	movi r3, 9      ; out-of-range vcpu
+	movi r4, 8
+	vmcall
+	mov r9, r1      ; expect -1
+	halt
+`)
+	m.Core(0).BindProgram(0, guest, "main")
+	if _, err := ServeGuests(k, []hwthread.PTID{0}, 0x900000, 0,
+		Config{GuestTDTBase: 0xD00000}); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if got := m.Core(0).Threads().Context(0).Regs.GPR[9]; got != -1 {
+		t.Fatalf("bad hypercall returned %d, want -1", got)
+	}
+	// Without GuestTDTBase the hypercall is refused too.
+	m2 := machine.NewDefault()
+	k2 := kernel.NewNocs(m2.Core(0))
+	m2.Core(0).BindProgram(0, guest, "main")
+	if _, err := ServeGuests(k2, []hwthread.PTID{0}, 0x900000, 0, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	m2.Run(0)
+	m2.Core(0).BootStart(0)
+	m2.Run(0)
+	if got := m2.Core(0).Threads().Context(0).Regs.GPR[9]; got != -1 {
+		t.Fatalf("hypercall without TDT base returned %d, want -1", got)
+	}
+}

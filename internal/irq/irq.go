@@ -1,0 +1,195 @@
+// Package irq models the legacy interrupt plumbing the paper wants to
+// eliminate (§1, §2 "No More Interrupts"): an interrupt descriptor table
+// (IDT), vectored delivery into a hard-IRQ context on a victim hardware
+// thread, inter-processor interrupts (IPIs), and the associated fixed costs.
+//
+// Delivery timeline for a device interrupt (the §1 wake-up story):
+//
+//	device raises vector
+//	→ controller latency
+//	→ victim thread enters IRQ context (IRQEntry cycles stolen from it;
+//	  an idle/halted core is woken first)
+//	→ registered handler runs (its cost is declared by the handler)
+//	→ IRQExit
+//
+// The controller also supports MSI translation: when a platform runs the
+// nocs personality, devices do not raise vectors at all — they write memory
+// (mem.SrcMSI) and the monitor engine does the rest. The ablation experiment
+// A2 uses exactly this split.
+package irq
+
+import (
+	"fmt"
+
+	"nocs/internal/hwthread"
+	"nocs/internal/sim"
+)
+
+// Vector is an interrupt vector number (index into the IDT).
+type Vector int
+
+// Handler services one interrupt vector. It runs in simulated IRQ context
+// on the victim thread and returns its service cost in cycles.
+type Handler func(v Vector, at sim.Cycles) sim.Cycles
+
+// CoreTarget abstracts the slice of the core model the controller needs:
+// stealing cycles from a running thread and waking a halted one.
+type CoreTarget interface {
+	// InjectDelay steals d cycles from the victim runnable thread.
+	InjectDelay(p hwthread.PTID, d sim.Cycles)
+	// WakeFromHalt resumes a hlt-parked thread.
+	WakeFromHalt(p hwthread.PTID)
+}
+
+// Costs are the fixed legacy-interrupt costs (defaults per DESIGN.md).
+type Costs struct {
+	// Controller is the APIC-ish delivery latency from device assertion to
+	// CPU notification.
+	Controller sim.Cycles
+	// Entry and Exit bracket the hard-IRQ context.
+	Entry sim.Cycles
+	Exit  sim.Cycles
+	// IPISend and IPIReceive price cross-core kicks.
+	IPISend    sim.Cycles
+	IPIReceive sim.Cycles
+}
+
+func (c *Costs) setDefaults() {
+	if c.Controller == 0 {
+		c.Controller = 100
+	}
+	if c.Entry == 0 {
+		c.Entry = 600
+	}
+	if c.Exit == 0 {
+		c.Exit = 300
+	}
+	if c.IPISend == 0 {
+		c.IPISend = 400
+	}
+	if c.IPIReceive == 0 {
+		c.IPIReceive = 700
+	}
+}
+
+type idtEntry struct {
+	handler Handler
+	core    CoreTarget
+	victim  hwthread.PTID
+}
+
+// victimKey identifies one interrupt-service context (a hardware thread on
+// a core): handler executions on the same victim serialize, exactly as hard
+// IRQ contexts do on real cores.
+type victimKey struct {
+	core   CoreTarget
+	victim hwthread.PTID
+}
+
+// Controller is the machine's legacy interrupt controller.
+type Controller struct {
+	eng   *sim.Engine
+	costs Costs
+	idt   map[Vector]idtEntry
+
+	busyUntil map[victimKey]sim.Cycles
+
+	raised    uint64
+	delivered uint64
+	spurious  uint64
+	ipis      uint64
+}
+
+// NewController builds a controller on the shared engine.
+func NewController(eng *sim.Engine, costs Costs) *Controller {
+	costs.setDefaults()
+	return &Controller{
+		eng: eng, costs: costs,
+		idt:       make(map[Vector]idtEntry),
+		busyUntil: make(map[victimKey]sim.Cycles),
+	}
+}
+
+// Costs returns the effective cost table.
+func (c *Controller) Costs() Costs { return c.costs }
+
+// Register installs a handler for vector v, delivered to the victim thread
+// on the given core. Re-registering replaces the entry (drivers do this on
+// reconfiguration).
+func (c *Controller) Register(v Vector, core CoreTarget, victim hwthread.PTID, h Handler) error {
+	if h == nil || core == nil {
+		return fmt.Errorf("irq: nil handler or core for vector %d", v)
+	}
+	c.idt[v] = idtEntry{handler: h, core: core, victim: victim}
+	return nil
+}
+
+// Unregister removes a vector's handler.
+func (c *Controller) Unregister(v Vector) { delete(c.idt, v) }
+
+// Registered reports whether vector v has a handler.
+func (c *Controller) Registered(v Vector) bool {
+	_, ok := c.idt[v]
+	return ok
+}
+
+// Raise asserts vector v at the current time. Unhandled vectors are counted
+// as spurious and dropped (real hardware logs and ignores them too).
+// Handler executions on the same victim thread serialize: an interrupt
+// arriving while a previous handler still runs is held pending until the
+// IRQ context frees up — the source of interrupt-path queueing under load.
+// It returns the earliest time the handler body can begin, or 0 for
+// spurious interrupts.
+func (c *Controller) Raise(v Vector) sim.Cycles {
+	c.raised++
+	e, ok := c.idt[v]
+	if !ok {
+		c.spurious++
+		return 0
+	}
+	key := victimKey{core: e.core, victim: e.victim}
+	var deliver func()
+	deliver = func() {
+		if bu := c.busyUntil[key]; bu > c.eng.Now() {
+			// A previous handler still occupies the IRQ context.
+			c.eng.At(bu, fmt.Sprintf("irq%d-pend", v), deliver)
+			return
+		}
+		// Wake the core if it is idle, then steal entry+handler+exit from
+		// whatever was running.
+		e.core.WakeFromHalt(e.victim)
+		start := c.eng.Now()
+		cost := c.costs.Entry + e.handler(v, start) + c.costs.Exit
+		c.busyUntil[key] = start + cost
+		e.core.InjectDelay(e.victim, cost)
+		c.delivered++
+	}
+	c.eng.After(c.costs.Controller, fmt.Sprintf("irq%d", v), deliver)
+	earliest := c.eng.Now() + c.costs.Controller
+	if bu := c.busyUntil[key]; bu > earliest {
+		earliest = bu
+	}
+	return earliest + c.costs.Entry
+}
+
+// SendIPI models one core kicking another (the §1 remote-wakeup path):
+// the sender pays IPISend immediately; after the wire latency the receiver
+// executes fn in IRQ context, paying IPIReceive plus fn's cost.
+func (c *Controller) SendIPI(sender CoreTarget, senderThread hwthread.PTID,
+	receiver CoreTarget, receiverThread hwthread.PTID, fn func() sim.Cycles) {
+	c.ipis++
+	sender.InjectDelay(senderThread, c.costs.IPISend)
+	c.eng.After(c.costs.IPISend, "ipi", func() {
+		receiver.WakeFromHalt(receiverThread)
+		cost := c.costs.IPIReceive
+		if fn != nil {
+			cost += fn()
+		}
+		receiver.InjectDelay(receiverThread, cost)
+	})
+}
+
+// Stats returns (raised, delivered, spurious, ipis).
+func (c *Controller) Stats() (raised, delivered, spurious, ipis uint64) {
+	return c.raised, c.delivered, c.spurious, c.ipis
+}

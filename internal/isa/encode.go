@@ -1,0 +1,156 @@
+package isa
+
+import "fmt"
+
+// Binary instruction encoding. Each instruction packs into a single 64-bit
+// word (NATIVE instructions additionally carry their symbol out of band —
+// in a real ISA the symbol would be an immediate into a handler table; the
+// encoder assigns indices through a SymbolTable):
+//
+//	bits 0–7    opcode
+//	bits 8–12   rd
+//	bits 13–17  rs1
+//	bits 18–22  rs2
+//	bits 23–63  imm, two's complement 41-bit signed
+//
+// The 41-bit immediate covers every instruction index and memory offset the
+// simulator supports; out-of-range immediates fail to encode rather than
+// truncate silently.
+
+const (
+	encOpShift  = 0
+	encRdShift  = 8
+	encRs1Shift = 13
+	encRs2Shift = 18
+	encImmShift = 23
+	encImmBits  = 64 - encImmShift
+
+	// EncImmMax and EncImmMin bound encodable immediates.
+	EncImmMax = (1 << (encImmBits - 1)) - 1
+	EncImmMin = -(1 << (encImmBits - 1))
+)
+
+// SymbolTable maps NATIVE handler names to stable indices for encoding.
+type SymbolTable struct {
+	names []string
+	index map[string]int64
+}
+
+// NewSymbolTable creates an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{index: make(map[string]int64)}
+}
+
+// Intern returns the index for name, assigning one if new.
+func (s *SymbolTable) Intern(name string) int64 {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := int64(len(s.names))
+	s.names = append(s.names, name)
+	s.index[name] = i
+	return i
+}
+
+// Name returns the symbol for index i.
+func (s *SymbolTable) Name(i int64) (string, bool) {
+	if i < 0 || i >= int64(len(s.names)) {
+		return "", false
+	}
+	return s.names[i], true
+}
+
+// Len returns the number of interned symbols.
+func (s *SymbolTable) Len() int { return len(s.names) }
+
+// Encode packs an instruction into a word. NATIVE symbols are interned in
+// syms (which must be non-nil for programs containing NATIVE).
+func Encode(in Instr, syms *SymbolTable) (uint64, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	imm := in.Imm
+	if in.Op == NATIVE {
+		if syms == nil {
+			return 0, fmt.Errorf("isa: encode: NATIVE requires a symbol table")
+		}
+		imm = syms.Intern(in.Sym)
+	}
+	if imm > EncImmMax || imm < EncImmMin {
+		return 0, fmt.Errorf("isa: encode: immediate %d out of 41-bit range", imm)
+	}
+	if !in.Rd.Valid() && in.Rd != 0 || !in.Rs1.Valid() && in.Rs1 != 0 || !in.Rs2.Valid() && in.Rs2 != 0 {
+		return 0, fmt.Errorf("isa: encode: invalid register in %v", in)
+	}
+	w := uint64(in.Op) << encOpShift
+	w |= uint64(in.Rd) << encRdShift
+	w |= uint64(in.Rs1) << encRs1Shift
+	w |= uint64(in.Rs2) << encRs2Shift
+	w |= (uint64(imm) & ((1 << encImmBits) - 1)) << encImmShift
+	return w, nil
+}
+
+// Decode unpacks a word. syms resolves NATIVE symbol indices.
+func Decode(w uint64, syms *SymbolTable) (Instr, error) {
+	in := Instr{
+		Op:  Op(w >> encOpShift & 0xff),
+		Rd:  Reg(w >> encRdShift & 0x1f),
+		Rs1: Reg(w >> encRs1Shift & 0x1f),
+		Rs2: Reg(w >> encRs2Shift & 0x1f),
+	}
+	if !in.Op.Valid() {
+		return Instr{}, fmt.Errorf("isa: decode: invalid opcode %d", in.Op)
+	}
+	raw := w >> encImmShift
+	// Sign-extend the 41-bit immediate.
+	if raw&(1<<(encImmBits-1)) != 0 {
+		raw |= ^((uint64(1) << encImmBits) - 1)
+	}
+	in.Imm = int64(raw)
+	if in.Op == NATIVE {
+		if syms == nil {
+			return Instr{}, fmt.Errorf("isa: decode: NATIVE requires a symbol table")
+		}
+		name, ok := syms.Name(in.Imm)
+		if !ok {
+			return Instr{}, fmt.Errorf("isa: decode: unknown NATIVE symbol index %d", in.Imm)
+		}
+		in.Sym = name
+		in.Imm = 0
+	}
+	return in, nil
+}
+
+// EncodeProgram packs a whole program into words plus its symbol table.
+func EncodeProgram(p *Program) ([]uint64, *SymbolTable, error) {
+	syms := NewSymbolTable()
+	words := make([]uint64, 0, p.Len())
+	for i, in := range p.Code {
+		// Branch label names are display sugar; the Imm is authoritative.
+		in.Sym = ""
+		if p.Code[i].Op == NATIVE {
+			in.Sym = p.Code[i].Sym
+		}
+		w, err := Encode(in, syms)
+		if err != nil {
+			return nil, nil, fmt.Errorf("instr %d: %w", i, err)
+		}
+		words = append(words, w)
+	}
+	return words, syms, nil
+}
+
+// DecodeProgram unpacks words into a program (labels are not recoverable
+// from the binary form; the returned program has an empty label table plus
+// a synthetic "start" label at 0).
+func DecodeProgram(name string, words []uint64, syms *SymbolTable) (*Program, error) {
+	code := make([]Instr, 0, len(words))
+	for i, w := range words {
+		in, err := Decode(w, syms)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		code = append(code, in)
+	}
+	return &Program{Name: name, Code: code, Labels: map[string]int64{"start": 0}}, nil
+}

@@ -1,0 +1,160 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	syms := NewSymbolTable()
+	cases := []Instr{
+		{Op: NOP},
+		{Op: ADD, Rd: R1, Rs1: R2, Rs2: R3},
+		{Op: MOVI, Rd: R15, Imm: -42},
+		{Op: MOVI, Rd: R0, Imm: EncImmMax},
+		{Op: MOVI, Rd: R0, Imm: EncImmMin},
+		{Op: LD, Rd: F3, Rs1: R14, Imm: 0x30000},
+		{Op: RPULL, Rs1: R2, Rd: R3, Imm: int64(PC)},
+		{Op: NATIVE, Sym: "kernel.tick"},
+		{Op: NATIVE, Sym: "kernel.tock"},
+		{Op: NATIVE, Sym: "kernel.tick"}, // re-interned, same index
+		{Op: HALT},
+	}
+	for _, in := range cases {
+		w, err := Encode(in, syms)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		out, err := Decode(w, syms)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if out != in {
+			t.Fatalf("round trip %+v -> %+v", in, out)
+		}
+	}
+	if syms.Len() != 2 {
+		t.Fatalf("symbol table has %d entries, want 2", syms.Len())
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(Instr{Op: Op(200)}, nil); err == nil {
+		t.Fatal("invalid opcode encoded")
+	}
+	if _, err := Encode(Instr{Op: MOVI, Imm: EncImmMax + 1}, nil); err == nil {
+		t.Fatal("oversized immediate encoded")
+	}
+	if _, err := Encode(Instr{Op: MOVI, Imm: EncImmMin - 1}, nil); err == nil {
+		t.Fatal("undersized immediate encoded")
+	}
+	if _, err := Encode(Instr{Op: NATIVE, Sym: "x"}, nil); err == nil {
+		t.Fatal("NATIVE without symbol table encoded")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(uint64(200), nil); err == nil {
+		t.Fatal("invalid opcode decoded")
+	}
+	syms := NewSymbolTable()
+	w, _ := Encode(Instr{Op: NATIVE, Sym: "a"}, syms)
+	if _, err := Decode(w, nil); err == nil {
+		t.Fatal("NATIVE decoded without symbol table")
+	}
+	// A NATIVE word with an out-of-range symbol index.
+	bogus := uint64(NATIVE) | (99 << encImmShift)
+	if _, err := Decode(bogus, syms); err == nil {
+		t.Fatal("unknown symbol index decoded")
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	p := NewBuilder("t").
+		Label("main").
+		Movi(R1, 4096).
+		Label("loop").
+		Monitor(R1).
+		Mwait().
+		Native("svc.handle").
+		Jmp("loop").
+		MustBuild()
+	words, syms, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != p.Len() {
+		t.Fatalf("encoded %d words for %d instructions", len(words), p.Len())
+	}
+	back, err := DecodeProgram("t", words, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Code {
+		want := p.Code[i]
+		want.Sym = ""
+		if want.Op == NATIVE {
+			want.Sym = p.Code[i].Sym
+		}
+		if back.Code[i] != want {
+			t.Fatalf("instr %d: %+v -> %+v", i, want, back.Code[i])
+		}
+	}
+	if _, err := back.Entry("start"); err != nil {
+		t.Fatal("decoded program missing synthetic start label")
+	}
+}
+
+func TestSymbolTable(t *testing.T) {
+	s := NewSymbolTable()
+	a := s.Intern("x")
+	b := s.Intern("y")
+	if a == b || s.Intern("x") != a {
+		t.Fatal("interning")
+	}
+	if n, ok := s.Name(a); !ok || n != "x" {
+		t.Fatal("Name")
+	}
+	if _, ok := s.Name(99); ok {
+		t.Fatal("out-of-range Name")
+	}
+	if _, ok := s.Name(-1); ok {
+		t.Fatal("negative Name")
+	}
+}
+
+// Property: every valid instruction with an in-range immediate survives the
+// encode/decode round trip bit-exactly.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	f := func(opRaw, rd, rs1, rs2 uint8, imm int64) bool {
+		op := Op(opRaw % uint8(numOps))
+		if !op.Valid() || op == NATIVE {
+			return true
+		}
+		in := Instr{
+			Op:  op,
+			Rd:  Reg(rd % uint8(NumRegs)),
+			Rs1: Reg(rs1 % uint8(NumRegs)),
+			Rs2: Reg(rs2 % uint8(NumRegs)),
+			Imm: imm % EncImmMax,
+		}
+		w, err := Encode(in, nil)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w, nil)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeProgramBadInstr(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Instr{{Op: MOVI, Imm: EncImmMax + 5}}}
+	_, _, err := EncodeProgram(p)
+	if err == nil || !strings.Contains(err.Error(), "instr 0") {
+		t.Fatalf("err: %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package isa defines the instruction set executed by the nocs core model.
+//
+// The ISA is a small RISC-style load/store architecture extended with the
+// instructions proposed in §3.1 of "A Case Against (Most) Context Switches"
+// (HotOS '21):
+//
+//	monitor <addr-reg>      arm a watch on a memory address
+//	mwait                   block the current ptid until a watched write
+//	start <vtid-reg>        enable the ptid mapped to vtid
+//	stop  <vtid-reg>        disable the ptid mapped to vtid
+//	rpull <vtid>, <lr>, <rr> read remote register rr of a disabled ptid into lr
+//	rpush <vtid>, <rr>, <lr> write local register lr into remote register rr
+//	invtid <vtid>, <rvtid>  invalidate a cached TDT translation
+//
+// It also retains the legacy instructions the baseline needs (SYSCALL,
+// SYSRET, VMCALL, INT, IRET, HLT, WRMSR) so that conventional
+// context-switching kernels can be modeled on the same core.
+//
+// Kernel and device service routines run through the NATIVE instruction,
+// which invokes a registered Go handler and charges its declared cycle cost —
+// the standard architecture-simulator pseudo-instruction technique.
+package isa
+
+import "fmt"
+
+// Op identifies an instruction.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	NOP Op = iota
+
+	// Integer ALU.
+	ADD  // rd = rs1 + rs2
+	SUB  // rd = rs1 - rs2
+	MUL  // rd = rs1 * rs2
+	DIV  // rd = rs1 / rs2 (divide-by-zero raises ExcDivideByZero)
+	AND  // rd = rs1 & rs2
+	OR   // rd = rs1 | rs2
+	XOR  // rd = rs1 ^ rs2
+	SHL  // rd = rs1 << (rs2 & 63)
+	SHR  // rd = rs1 >> (rs2 & 63) (logical)
+	SLT  // rd = 1 if rs1 < rs2 else 0 (signed)
+	ADDI // rd = rs1 + imm
+	MOVI // rd = imm
+	MOV  // rd = rs1
+
+	// Floating point (touching these marks the ptid's state "vector-dirty",
+	// growing its architectural state from 272 to 784 bytes, §4).
+	FADD // fd = fs1 + fs2
+	FMUL // fd = fs1 * fs2
+	FMOVI
+	FMOV
+
+	// Memory.
+	LD // rd = mem[rs1 + imm]
+	ST // mem[rs1 + imm] = rs2
+
+	// Control flow.
+	JMP // pc = imm
+	JAL // rd = pc+1; pc = imm
+	JR  // pc = rs1
+	BEQ // if rs1 == rs2: pc = imm
+	BNE
+	BLT
+	BGE
+	HALT // stop the ptid permanently (program end)
+
+	// Paper §3.1 extensions.
+	MONITOR // arm watch on address in rs1 (multiple allowed per ptid)
+	MWAIT   // block until a write hits any armed watch
+	START   // start ptid mapped to vtid in rs1
+	STOP    // stop ptid mapped to vtid in rs1
+	RPULL   // rd(local) = remote reg Imm of ptid mapped to vtid in rs1
+	RPUSH   // remote reg Imm of ptid mapped to vtid in rs1 = rs2(local)
+	INVTID  // invalidate cached translation of vtid rs2 in the TDT of vtid rs1
+
+	// Legacy privileged-transition instructions (baseline machinery).
+	SYSCALL // same-thread mode switch into the kernel (expensive, §2)
+	SYSRET  // return to user mode
+	VMCALL  // guest → hypervisor exit (expensive, §2)
+	VMRESUME
+	INT  // software interrupt through the IDT, vector = imm
+	IRET // return from interrupt context
+	WRMSR
+	RDMSR
+	HLT // halt core until next interrupt (legacy idle)
+
+	// Simulator pseudo-instruction: invoke registered native handler Sym.
+	NATIVE
+
+	numOps // sentinel
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", DIV: "div",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr", SLT: "slt",
+	ADDI: "addi", MOVI: "movi", MOV: "mov",
+	FADD: "fadd", FMUL: "fmul", FMOVI: "fmovi", FMOV: "fmov",
+	LD: "ld", ST: "st",
+	JMP: "jmp", JAL: "jal", JR: "jr", BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	HALT:    "halt",
+	MONITOR: "monitor", MWAIT: "mwait", START: "start", STOP: "stop",
+	RPULL: "rpull", RPUSH: "rpush", INVTID: "invtid",
+	SYSCALL: "syscall", SYSRET: "sysret", VMCALL: "vmcall", VMRESUME: "vmresume",
+	INT: "int", IRET: "iret", WRMSR: "wrmsr", RDMSR: "rdmsr", HLT: "hlt",
+	NATIVE: "native",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is a defined instruction.
+func (o Op) Valid() bool { return o < numOps && (o == NOP || opNames[o] != "") }
+
+// OpByName maps a mnemonic back to its opcode; ok is false for unknown names.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		if n != "" {
+			m[n] = Op(op)
+		}
+	}
+	return m
+}()
+
+// IsPrivileged reports whether executing the opcode in user mode raises a
+// privilege exception (writes an exception descriptor and disables the ptid
+// under the nocs model; vectors through the IDT under the legacy model).
+func (o Op) IsPrivileged() bool {
+	switch o {
+	case WRMSR, RDMSR, HLT, IRET, VMRESUME, SYSRET:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode may redirect control flow.
+func (o Op) IsBranch() bool {
+	switch o {
+	case JMP, JAL, JR, BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// Latency returns the base execution latency of the opcode in cycles,
+// excluding memory-hierarchy time for LD/ST and excluding the architectural
+// transition costs of the legacy privileged instructions (those are charged
+// by the core's cost model, since they depend on configuration).
+func (o Op) Latency() int {
+	switch o {
+	case MUL:
+		return 3
+	case DIV:
+		return 12
+	case FADD, FMOV, FMOVI:
+		return 3
+	case FMUL:
+		return 4
+	case LD, ST:
+		return 1 // plus cache hierarchy time
+	default:
+		return 1
+	}
+}

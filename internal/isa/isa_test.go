@@ -1,0 +1,301 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if !op.Valid() {
+			continue
+		}
+		name := op.String()
+		back, ok := OpByName(name)
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", name)
+		}
+		if back != op {
+			t.Fatalf("round trip %v -> %q -> %v", op, name, back)
+		}
+	}
+}
+
+func TestOpUnknownName(t *testing.T) {
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Fatal("unexpected opcode for nonsense name")
+	}
+	if got := Op(250).String(); !strings.Contains(got, "250") {
+		t.Fatalf("unknown op String: %q", got)
+	}
+}
+
+func TestPrivilegedOps(t *testing.T) {
+	for _, op := range []Op{WRMSR, RDMSR, HLT, IRET, VMRESUME, SYSRET} {
+		if !op.IsPrivileged() {
+			t.Errorf("%v should be privileged", op)
+		}
+	}
+	for _, op := range []Op{ADD, LD, SYSCALL, VMCALL, MWAIT, MONITOR, START, STOP} {
+		if op.IsPrivileged() {
+			t.Errorf("%v should not be privileged", op)
+		}
+	}
+}
+
+func TestBranchOps(t *testing.T) {
+	for _, op := range []Op{JMP, JAL, JR, BEQ, BNE, BLT, BGE} {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	if ADD.IsBranch() || MWAIT.IsBranch() {
+		t.Error("non-branches reported as branches")
+	}
+}
+
+func TestOpLatencyPositive(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.Valid() && op.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", op, op.Latency())
+		}
+	}
+	if DIV.Latency() <= ADD.Latency() {
+		t.Error("DIV should be slower than ADD")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	cases := map[string]Reg{
+		"r0": R0, "r15": R15, "f0": F0, "f7": F7,
+		"pc": PC, "mode": Mode, "edp": EDP, "tdt": TDT,
+		"sp": R14, "lr": R15,
+	}
+	for name, want := range cases {
+		got, ok := RegByName(name)
+		if !ok || got != want {
+			t.Errorf("RegByName(%q) = %v,%v want %v", name, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"r16", "f8", "x3", "", "r-1", "rax"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) unexpectedly resolved", bad)
+		}
+	}
+}
+
+func TestRegStringRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		name := r.String()
+		back, ok := RegByName(name)
+		if !ok {
+			t.Fatalf("register %d name %q does not resolve", r, name)
+		}
+		// sp/lr alias to r14/r15; String always emits canonical names, so
+		// the round trip must be exact.
+		if back != r {
+			t.Fatalf("round trip %v -> %q -> %v", r, name, back)
+		}
+	}
+}
+
+func TestRegClasses(t *testing.T) {
+	if R3.IsFP() || R3.IsControl() {
+		t.Error("r3 misclassified")
+	}
+	if !F2.IsFP() || F2.IsControl() {
+		t.Error("f2 misclassified")
+	}
+	if PC.IsFP() || !PC.IsControl() {
+		t.Error("pc misclassified")
+	}
+	if !EDP.IsControl() || !TDT.IsControl() || !Mode.IsControl() {
+		t.Error("control registers misclassified")
+	}
+}
+
+func TestRegFileGetSet(t *testing.T) {
+	var rf RegFile
+	rf.Set(R5, 42)
+	if rf.Get(R5) != 42 {
+		t.Fatal("GPR set/get")
+	}
+	rf.Set(PC, 7)
+	rf.Set(Mode, 1)
+	rf.Set(EDP, 0x1000)
+	rf.Set(TDT, 0x2000)
+	if rf.Get(PC) != 7 || rf.Get(Mode) != 1 || rf.Get(EDP) != 0x1000 || rf.Get(TDT) != 0x2000 {
+		t.Fatal("control register set/get")
+	}
+}
+
+func TestRegFileFPDirtyGrowsState(t *testing.T) {
+	var rf RegFile
+	if rf.StateBytes() != BaseStateBytes {
+		t.Fatalf("clean state = %d bytes, want %d", rf.StateBytes(), BaseStateBytes)
+	}
+	rf.SetF(F1, 3.5)
+	if !rf.FPDirty {
+		t.Fatal("FPDirty not set")
+	}
+	if rf.GetF(F1) != 3.5 {
+		t.Fatal("FP value lost")
+	}
+	if rf.StateBytes() != VectorStateBytes {
+		t.Fatalf("dirty state = %d bytes, want %d", rf.StateBytes(), VectorStateBytes)
+	}
+}
+
+func TestRegFileSetViaIntMarksFPDirty(t *testing.T) {
+	var rf RegFile
+	rf.Set(F0, 2)
+	if !rf.FPDirty {
+		t.Fatal("Set on FP register did not mark dirty")
+	}
+}
+
+func TestRegFileInvalidPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { var rf RegFile; rf.Get(NumRegs) },
+		func() { var rf RegFile; rf.Set(NumRegs, 1) },
+		func() { var rf RegFile; rf.GetF(R1) },
+		func() { var rf RegFile; rf.SetF(PC, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBuilderResolvesForwardLabels(t *testing.T) {
+	p := NewBuilder("t").
+		Movi(R1, 0).
+		Label("loop").
+		Addi(R1, R1, 1).
+		Movi(R2, 10).
+		Blt(R1, R2, "loop").
+		Halt().
+		MustBuild()
+	idx := p.MustEntry("loop")
+	if idx != 1 {
+		t.Fatalf("loop at %d, want 1", idx)
+	}
+	// The branch is instruction 3 and must target index 1.
+	if p.Code[3].Op != BLT || p.Code[3].Imm != 1 {
+		t.Fatalf("branch not patched: %+v", p.Code[3])
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder("t").Jmp("nowhere").Build()
+	if err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	_, err := NewBuilder("t").Label("a").Nop().Label("a").Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestProgramAtBounds(t *testing.T) {
+	p := NewBuilder("t").Nop().Halt().MustBuild()
+	if _, ok := p.At(-1); ok {
+		t.Error("At(-1) ok")
+	}
+	if _, ok := p.At(2); ok {
+		t.Error("At(len) ok")
+	}
+	in, ok := p.At(1)
+	if !ok || in.Op != HALT {
+		t.Errorf("At(1) = %v,%v", in, ok)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestProgramEntryError(t *testing.T) {
+	p := NewBuilder("t").Nop().MustBuild()
+	if _, err := p.Entry("missing"); err == nil {
+		t.Fatal("expected error for missing label")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEntry should panic")
+		}
+	}()
+	p.MustEntry("missing")
+}
+
+func TestDisassembleContainsLabelsAndOps(t *testing.T) {
+	p := NewBuilder("t").
+		Label("main").
+		Movi(R1, 5).
+		Monitor(R1).
+		Mwait().
+		Start(R2).
+		Rpull(R2, R3, PC).
+		Rpush(R2, Mode, R4).
+		Invtid(R2, R5).
+		Halt().
+		MustBuild()
+	d := p.Disassemble()
+	for _, want := range []string{"main:", "movi r1, 5", "monitor r1", "mwait", "start r2", "rpull r2, r3, pc", "rpush r2, mode, r4", "invtid r2, r5", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestInstrStringAllFormats(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ADD, Rd: R1, Rs1: R2, Rs2: R3}, "add r1, r2, r3"},
+		{Instr{Op: ADDI, Rd: R1, Rs1: R2, Imm: -4}, "addi r1, r2, -4"},
+		{Instr{Op: LD, Rd: R1, Rs1: R2, Imm: 8}, "ld r1, [r2+8]"},
+		{Instr{Op: ST, Rs1: R2, Imm: 8, Rs2: R3}, "st [r2+8], r3"},
+		{Instr{Op: JMP, Imm: 12}, "jmp 12"},
+		{Instr{Op: JMP, Imm: 12, Sym: "loop"}, "jmp loop"},
+		{Instr{Op: INT, Imm: 32}, "int 32"},
+		{Instr{Op: NATIVE, Sym: "sys.read"}, "native sys.read"},
+		{Instr{Op: SYSCALL}, "syscall"},
+		{Instr{Op: JR, Rs1: R15}, "jr r15"},
+		{Instr{Op: JAL, Rd: R15, Imm: 3}, "jal r15, 3"},
+		{Instr{Op: FADD, Rd: F0, Rs1: F1, Rs2: F2}, "fadd f0, f1, f2"},
+		{Instr{Op: MOV, Rd: R1, Rs1: R2}, "mov r1, r2"},
+		{Instr{Op: WRMSR, Rd: R1, Rs1: R2}, "wrmsr r1, r2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+// Property: any register number in range survives a Get/Set round trip of an
+// arbitrary value (FP registers truncate through the int path; exclude them).
+func TestRegFileRoundTripProperty(t *testing.T) {
+	f := func(reg uint8, val int64) bool {
+		r := Reg(reg % uint8(NumRegs))
+		if r.IsFP() {
+			return true
+		}
+		var rf RegFile
+		rf.Set(r, val)
+		return rf.Get(r) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is one decoded instruction. The operand fields used depend on the
+// opcode; unused fields are zero. Imm doubles as the branch target
+// (instruction index) for control flow and as the remote-register selector
+// for RPULL/RPUSH.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+	Sym string // NATIVE handler name, or label name for disassembly
+}
+
+// String disassembles the instruction in assembler syntax.
+func (in Instr) String() string {
+	target := func() string {
+		if in.Sym != "" {
+			return in.Sym
+		}
+		return fmt.Sprintf("%d", in.Imm)
+	}
+	switch in.Op {
+	case NOP, MWAIT, SYSCALL, SYSRET, VMCALL, VMRESUME, IRET, HLT, HALT:
+		return in.Op.String()
+	case ADD, SUB, MUL, DIV, AND, OR, XOR, SHL, SHR, SLT:
+		return fmt.Sprintf("%s %v, %v, %v", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FADD, FMUL:
+		return fmt.Sprintf("%s %v, %v, %v", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case ADDI:
+		return fmt.Sprintf("%s %v, %v, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case MOVI:
+		return fmt.Sprintf("%s %v, %d", in.Op, in.Rd, in.Imm)
+	case FMOVI:
+		return fmt.Sprintf("%s %v, %d", in.Op, in.Rd, in.Imm)
+	case MOV, FMOV:
+		return fmt.Sprintf("%s %v, %v", in.Op, in.Rd, in.Rs1)
+	case LD:
+		return fmt.Sprintf("%s %v, [%v+%d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case ST:
+		return fmt.Sprintf("%s [%v+%d], %v", in.Op, in.Rs1, in.Imm, in.Rs2)
+	case JMP:
+		return fmt.Sprintf("%s %s", in.Op, target())
+	case JAL:
+		return fmt.Sprintf("%s %v, %s", in.Op, in.Rd, target())
+	case JR:
+		return fmt.Sprintf("%s %v", in.Op, in.Rs1)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %v, %v, %s", in.Op, in.Rs1, in.Rs2, target())
+	case MONITOR, START, STOP:
+		return fmt.Sprintf("%s %v", in.Op, in.Rs1)
+	case RPULL:
+		return fmt.Sprintf("%s %v, %v, %v", in.Op, in.Rs1, in.Rd, Reg(in.Imm))
+	case RPUSH:
+		return fmt.Sprintf("%s %v, %v, %v", in.Op, in.Rs1, Reg(in.Imm), in.Rs2)
+	case INVTID:
+		return fmt.Sprintf("%s %v, %v", in.Op, in.Rs1, in.Rs2)
+	case INT:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case WRMSR, RDMSR:
+		return fmt.Sprintf("%s %v, %v", in.Op, in.Rd, in.Rs1)
+	case NATIVE:
+		return fmt.Sprintf("%s %s", in.Op, in.Sym)
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}
+
+// Program is an assembled instruction sequence plus its label table.
+// Instruction addresses are indices into Code (one slot per instruction);
+// this keeps the simulator's fetch model trivial while preserving everything
+// the experiments need.
+type Program struct {
+	Name   string
+	Code   []Instr
+	Labels map[string]int64 // label -> instruction index
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// At returns the instruction at pc, and ok=false when pc falls outside the
+// program (which the core turns into an invalid-opcode exception).
+func (p *Program) At(pc int64) (Instr, bool) {
+	if pc < 0 || pc >= int64(len(p.Code)) {
+		return Instr{}, false
+	}
+	return p.Code[pc], true
+}
+
+// Entry returns the instruction index of a label.
+func (p *Program) Entry(label string) (int64, error) {
+	if v, ok := p.Labels[label]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("isa: program %q has no label %q", p.Name, label)
+}
+
+// MustEntry is Entry but panics on unknown labels; for tests and examples.
+func (p *Program) MustEntry(label string) int64 {
+	v, err := p.Entry(label)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Disassemble renders the whole program with labels interleaved.
+func (p *Program) Disassemble() string {
+	byIndex := make(map[int64][]string)
+	for name, idx := range p.Labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	var b strings.Builder
+	for i, in := range p.Code {
+		for _, l := range byIndex[int64(i)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "\t%s\n", in)
+	}
+	for _, l := range byIndex[int64(len(p.Code))] {
+		fmt.Fprintf(&b, "%s:\n", l)
+	}
+	return b.String()
+}
+
+// Builder assembles programs programmatically; the text assembler in
+// internal/asm lowers to the same calls. Labels may be referenced before
+// they are defined; Build resolves them.
+type Builder struct {
+	name   string
+	code   []Instr
+	labels map[string]int64
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	index int
+	label string
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int64)}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = int64(len(b.code))
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instr) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+// EmitRef appends an instruction whose Imm will be patched to the address of
+// label at Build time.
+func (b *Builder) EmitRef(in Instr, label string) *Builder {
+	in.Sym = label
+	b.fixups = append(b.fixups, fixup{index: len(b.code), label: label})
+	b.code = append(b.code, in)
+	return b
+}
+
+// Convenience emitters used heavily by tests and examples.
+
+func (b *Builder) Nop() *Builder                 { return b.Emit(Instr{Op: NOP}) }
+func (b *Builder) Halt() *Builder                { return b.Emit(Instr{Op: HALT}) }
+func (b *Builder) Movi(rd Reg, v int64) *Builder { return b.Emit(Instr{Op: MOVI, Rd: rd, Imm: v}) }
+func (b *Builder) Mov(rd, rs Reg) *Builder       { return b.Emit(Instr{Op: MOV, Rd: rd, Rs1: rs}) }
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: ADD, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: SUB, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: MUL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Div(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: DIV, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+func (b *Builder) Addi(rd, rs1 Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: ADDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+func (b *Builder) Ld(rd, base Reg, off int64) *Builder {
+	return b.Emit(Instr{Op: LD, Rd: rd, Rs1: base, Imm: off})
+}
+func (b *Builder) St(base Reg, off int64, rs Reg) *Builder {
+	return b.Emit(Instr{Op: ST, Rs1: base, Imm: off, Rs2: rs})
+}
+func (b *Builder) Jmp(label string) *Builder { return b.EmitRef(Instr{Op: JMP}, label) }
+func (b *Builder) Beq(rs1, rs2 Reg, label string) *Builder {
+	return b.EmitRef(Instr{Op: BEQ, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bne(rs1, rs2 Reg, label string) *Builder {
+	return b.EmitRef(Instr{Op: BNE, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Blt(rs1, rs2 Reg, label string) *Builder {
+	return b.EmitRef(Instr{Op: BLT, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Bge(rs1, rs2 Reg, label string) *Builder {
+	return b.EmitRef(Instr{Op: BGE, Rs1: rs1, Rs2: rs2}, label)
+}
+func (b *Builder) Monitor(addr Reg) *Builder { return b.Emit(Instr{Op: MONITOR, Rs1: addr}) }
+func (b *Builder) Mwait() *Builder           { return b.Emit(Instr{Op: MWAIT}) }
+func (b *Builder) Start(vtid Reg) *Builder   { return b.Emit(Instr{Op: START, Rs1: vtid}) }
+func (b *Builder) Stop(vtid Reg) *Builder    { return b.Emit(Instr{Op: STOP, Rs1: vtid}) }
+func (b *Builder) Rpull(vtid, local Reg, remote Reg) *Builder {
+	return b.Emit(Instr{Op: RPULL, Rs1: vtid, Rd: local, Imm: int64(remote)})
+}
+func (b *Builder) Rpush(vtid Reg, remote Reg, local Reg) *Builder {
+	return b.Emit(Instr{Op: RPUSH, Rs1: vtid, Imm: int64(remote), Rs2: local})
+}
+func (b *Builder) Invtid(vtid, remote Reg) *Builder {
+	return b.Emit(Instr{Op: INVTID, Rs1: vtid, Rs2: remote})
+}
+func (b *Builder) Syscall() *Builder { return b.Emit(Instr{Op: SYSCALL}) }
+func (b *Builder) Vmcall() *Builder  { return b.Emit(Instr{Op: VMCALL}) }
+func (b *Builder) Native(sym string) *Builder {
+	return b.Emit(Instr{Op: NATIVE, Sym: sym})
+}
+
+// Build resolves label references and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		addr, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: program %q: undefined label %q", b.name, f.label)
+		}
+		b.code[f.index].Imm = addr
+	}
+	labels := make(map[string]int64, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	code := make([]Instr, len(b.code))
+	copy(code, b.code)
+	return &Program{Name: b.name, Code: code, Labels: labels}, nil
+}
+
+// MustBuild is Build but panics on error; for tests and examples.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,227 @@
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The file has 16 integer registers
+// (r0–r15), 8 floating-point registers (f0–f7), the program counter, and the
+// control registers the paper introduces: the mode bit, the exception
+// descriptor pointer (EDP, §3.1 "specifies where to write an exception
+// descriptor when the ptid becomes disabled"), and the thread-descriptor-
+// table base (TDT, §3.2).
+//
+// rpull/rpush address registers of *other* (disabled) ptids by these same
+// numbers, so the Reg space is also the remote-register namespace.
+type Reg uint8
+
+// Integer register file. By software convention (used by the assembler's
+// readability aliases, the kernel ABI, and the examples):
+//
+//	r0      zero-ish scratch (NOT hardwired; conventionally 0)
+//	r1–r5   arguments / results (a0–a4)
+//	r6–r11  temporaries
+//	r12     vtid scratch for thread-management sequences
+//	r13     software thread pointer
+//	r14     stack pointer (sp)
+//	r15     link register (lr)
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// Floating point registers.
+	F0
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+
+	// PC is the program counter (instruction index, not byte address).
+	PC
+
+	// Mode is the privilege bit: 0 = user, 1 = supervisor (§3.2).
+	Mode
+
+	// EDP is the exception descriptor pointer: the memory address where the
+	// hardware writes an exception descriptor when this ptid is disabled by
+	// a fault (§3.1).
+	EDP
+
+	// TDT is the thread descriptor table base address for this ptid (§3.2).
+	TDT
+
+	NumRegs // sentinel
+
+	// NumGPR is the count of integer registers.
+	NumGPR = 16
+	// NumFPR is the count of floating-point registers.
+	NumFPR = 8
+)
+
+var regNames = map[Reg]string{
+	PC: "pc", Mode: "mode", EDP: "edp", TDT: "tdt",
+}
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch {
+	case r < F0:
+		return fmt.Sprintf("r%d", uint8(r))
+	case r < PC:
+		return fmt.Sprintf("f%d", uint8(r-F0))
+	}
+	if n, ok := regNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Valid reports whether r names a real register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// IsFP reports whether r is a floating point register.
+func (r Reg) IsFP() bool { return r >= F0 && r < PC }
+
+// IsControl reports whether r is one of the control registers that only
+// supervisor-mode rpush may modify remotely ("modify most registers" vs
+// "modify some registers" in the TDT permission bits, Table 1).
+func (r Reg) IsControl() bool { return r >= PC && r < NumRegs }
+
+// RegByName resolves an assembler register name ("r3", "f1", "pc", "sp"...).
+func RegByName(name string) (Reg, bool) {
+	switch name {
+	case "pc":
+		return PC, true
+	case "mode":
+		return Mode, true
+	case "edp":
+		return EDP, true
+	case "tdt":
+		return TDT, true
+	case "sp":
+		return R14, true
+	case "lr":
+		return R15, true
+	}
+	var n int
+	if len(name) >= 2 && (name[0] == 'r' || name[0] == 'f') {
+		if _, err := fmt.Sscanf(name[1:], "%d", &n); err == nil {
+			if name[0] == 'r' && n >= 0 && n < NumGPR {
+				return Reg(n), true
+			}
+			if name[0] == 'f' && n >= 0 && n < NumFPR {
+				return F0 + Reg(n), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// RegFile is the full architectural state of one hardware thread: the
+// paper's 272-byte base context, growing to 784 bytes once the vector/FP
+// registers are live (§4 "272 bytes of register state that goes up to 784
+// bytes if SSE3 vector extensions are used").
+type RegFile struct {
+	GPR     [NumGPR]int64
+	FPR     [NumFPR]float64
+	PC      int64
+	Mode    int64 // 0 user, 1 supervisor
+	EDP     int64
+	TDT     int64
+	FPDirty bool // any FP register touched since reset
+}
+
+// BaseStateBytes and VectorStateBytes are the paper's per-thread
+// architectural state footprints (§4).
+const (
+	BaseStateBytes   = 272
+	VectorStateBytes = 784
+)
+
+// StateBytes returns the number of bytes of architectural state this context
+// occupies in the thread-state storage hierarchy.
+func (rf *RegFile) StateBytes() int {
+	if rf.FPDirty {
+		return VectorStateBytes
+	}
+	return BaseStateBytes
+}
+
+// Get reads a register by number. FP registers are returned as raw bits via
+// int64 truncation of the float's integer value; use GetF for FP semantics.
+func (rf *RegFile) Get(r Reg) int64 {
+	switch {
+	case r < F0:
+		return rf.GPR[r]
+	case r.IsFP():
+		return int64(rf.FPR[r-F0])
+	}
+	switch r {
+	case PC:
+		return rf.PC
+	case Mode:
+		return rf.Mode
+	case EDP:
+		return rf.EDP
+	case TDT:
+		return rf.TDT
+	}
+	panic(fmt.Sprintf("isa: Get of invalid register %d", r))
+}
+
+// Set writes a register by number.
+func (rf *RegFile) Set(r Reg, v int64) {
+	switch {
+	case r < F0:
+		rf.GPR[r] = v
+		return
+	case r.IsFP():
+		rf.FPR[r-F0] = float64(v)
+		rf.FPDirty = true
+		return
+	}
+	switch r {
+	case PC:
+		rf.PC = v
+	case Mode:
+		rf.Mode = v
+	case EDP:
+		rf.EDP = v
+	case TDT:
+		rf.TDT = v
+	default:
+		panic(fmt.Sprintf("isa: Set of invalid register %d", r))
+	}
+}
+
+// GetF reads a floating point register.
+func (rf *RegFile) GetF(r Reg) float64 {
+	if !r.IsFP() {
+		panic(fmt.Sprintf("isa: GetF of non-FP register %v", r))
+	}
+	return rf.FPR[r-F0]
+}
+
+// SetF writes a floating point register and marks the FP state dirty.
+func (rf *RegFile) SetF(r Reg, v float64) {
+	if !r.IsFP() {
+		panic(fmt.Sprintf("isa: SetF of non-FP register %v", r))
+	}
+	rf.FPR[r-F0] = v
+	rf.FPDirty = true
+}

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"testing"
+
+	"nocs/internal/asm"
+
+	"nocs/internal/device"
+	"nocs/internal/hwthread"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+)
+
+// Failure injection: kernel service threads are stopped abruptly (as a
+// buggy manager or a crash-handling watchdog would) and later restarted.
+// Because device queues carry persistent head/tail counters, a restarted
+// service must recover the backlog that accumulated while it was down —
+// no event may be lost, and the machine must stay healthy.
+
+func TestServiceStopAndRestartRecoversBacklog(t *testing.T) {
+	m := machine.NewDefault()
+	k := NewNocs(m.Core(0))
+	nic := m.NewNIC(device.NICConfig{
+		RingBase: 0x100000, BufBase: 0x200000,
+		TailAddr: 0x300000, HeadAddr: 0x300008,
+	}, device.Signal{})
+	var seqs []int64
+	svc, err := k.ServeDevice("rx", nic.TailAddr(), 0x300008, 100,
+		func(seq int64, at sim.Cycles) { seqs = append(seqs, seq) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0) // park
+
+	// Normal operation.
+	nic.Deliver([]int64{0})
+	m.Run(0)
+	if len(seqs) != 1 {
+		t.Fatalf("served %d", len(seqs))
+	}
+
+	// Kill the service thread while parked.
+	m.Core(0).StopThread(svc)
+	if m.Core(0).Threads().Context(svc).State != hwthread.Disabled {
+		t.Fatal("service not stopped")
+	}
+
+	// Packets arrive while the service is down: nobody wakes.
+	for i := 1; i <= 3; i++ {
+		nic.Deliver([]int64{int64(i)})
+	}
+	m.Run(0)
+	if len(seqs) != 1 {
+		t.Fatalf("dead service processed packets: %v", seqs)
+	}
+
+	// Restart: the service re-enters its loop, re-arms, and drains the
+	// backlog from the persistent head/tail counters.
+	if err := m.Core(0).StartThreadSupervised(svc); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	if len(seqs) != 4 {
+		t.Fatalf("backlog not recovered: %v", seqs)
+	}
+	// And future packets flow normally.
+	nic.Deliver([]int64{4})
+	m.Run(0)
+	if len(seqs) != 5 || seqs[4] != 4 {
+		t.Fatalf("post-restart delivery: %v", seqs)
+	}
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+}
+
+func TestSyscallServiceCrashStrandsUsersButNotMachine(t *testing.T) {
+	// If the syscall service dies, users block forever on their syscalls —
+	// a hang, not a machine fault — and restarting the service drains the
+	// stranded descriptors.
+	m := machine.NewDefault()
+	k := NewNocs(m.Core(0))
+	k.RegisterSyscall(1, func(tc *hwthread.Context, args [4]int64) (int64, sim.Cycles) {
+		return args[0] + 1, 50
+	})
+	svc, err := k.ServeSyscalls([]hwthread.PTID{0}, 0x800000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := mustProg(t, m, 0, `
+main:
+	movi r1, 1
+	movi r2, 41
+	syscall
+	mov r9, r1
+	halt
+`)
+	m.Run(0)
+	m.Core(0).StopThread(svc) // crash the service before the user runs
+
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	if user().State != hwthread.Disabled || user().Regs.GPR[9] != 0 {
+		// The user wrote its descriptor and disabled itself; nobody served it.
+		if user().State != hwthread.Disabled {
+			t.Fatalf("user state %v, want disabled (stranded)", user().State)
+		}
+	}
+	if user().Regs.GPR[9] != 0 {
+		t.Fatal("user completed without a service")
+	}
+
+	// Revive the service: it re-arms, sees the pending descriptor doorbell
+	// value already in memory... the doorbell write happened while it was
+	// down, so the wake must come from the re-scan on restart.
+	if err := m.Core(0).StartThreadSupervised(svc); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	if user().Regs.GPR[9] != 42 {
+		t.Fatalf("stranded syscall not recovered: r9=%d", user().Regs.GPR[9])
+	}
+}
+
+// mustProg binds src to ptid and returns a context accessor.
+func mustProg(t *testing.T, m *machine.Machine, p hwthread.PTID, src string) func() *hwthread.Context {
+	t.Helper()
+	prog, err := asm.Assemble("prog", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Core(0).BindProgram(p, prog, "main"); err != nil {
+		t.Fatal(err)
+	}
+	return func() *hwthread.Context { return m.Core(0).Threads().Context(p) }
+}

@@ -1,0 +1,263 @@
+package kernel
+
+import (
+	"fmt"
+
+	"nocs/internal/core"
+	"nocs/internal/hwthread"
+	"nocs/internal/irq"
+	"nocs/internal/sim"
+)
+
+// SyscallFn implements one system call. It receives the calling thread's
+// context (arguments in r2–r5 by ABI) and returns the result and its
+// service cost in cycles.
+type SyscallFn func(t *hwthread.Context, args [4]int64) (ret int64, cost sim.Cycles)
+
+// Legacy is the conventional kernel personality: syscalls switch privilege
+// mode inside the calling hardware thread (charging the core's
+// SyscallEntry/SyscallExit costs), and I/O completions arrive as interrupts.
+type Legacy struct {
+	c *core.Core
+	// DispatchCost is the in-kernel syscall demultiplex cost.
+	DispatchCost sim.Cycles
+
+	table    map[int64]SyscallFn
+	syscalls uint64
+	unknown  uint64
+}
+
+// NewLegacy installs the legacy personality on a core: after this call,
+// SYSCALL instructions on that core perform in-thread mode switches.
+func NewLegacy(c *core.Core) *Legacy {
+	k := &Legacy{c: c, DispatchCost: 50, table: make(map[int64]SyscallFn)}
+	c.LegacySyscall = k.handleSyscall
+	return k
+}
+
+// Core returns the kernel's core.
+func (k *Legacy) Core() *core.Core { return k.c }
+
+// RegisterSyscall binds number to fn.
+func (k *Legacy) RegisterSyscall(num int64, fn SyscallFn) {
+	k.table[num] = fn
+}
+
+// Syscalls returns (handled, unknown) counts.
+func (k *Legacy) Syscalls() (handled, unknown uint64) { return k.syscalls, k.unknown }
+
+// handleSyscall is the core's LegacySyscall hook. ABI: r1 = number,
+// r2–r5 = arguments, result in r1.
+func (k *Legacy) handleSyscall(c *core.Core, t *hwthread.Context) sim.Cycles {
+	num := t.Regs.GPR[1]
+	fn, ok := k.table[num]
+	if !ok {
+		k.unknown++
+		t.Regs.GPR[1] = -1
+		return k.DispatchCost
+	}
+	k.syscalls++
+	args := [4]int64{t.Regs.GPR[2], t.Regs.GPR[3], t.Regs.GPR[4], t.Regs.GPR[5]}
+	ret, cost := fn(t, args)
+	t.Regs.GPR[1] = ret
+	return k.DispatchCost + cost
+}
+
+// ServeNICWithIRQ wires interrupt-driven packet receive (the F2 baseline):
+// each NIC interrupt enters IRQ context on the victim thread, drains the RX
+// ring (head..tail), charges perPacket cycles for each packet, and invokes
+// onPacket with each packet's completion time — IRQ-context entry plus the
+// processing of it and everything ahead of it in the batch. headAddr is the
+// software consumption counter published back for the NIC's overrun check.
+func (k *Legacy) ServeNICWithIRQ(ctrl *irq.Controller, vector irq.Vector,
+	victim hwthread.PTID, tailAddr, headAddr int64, perPacket sim.Cycles,
+	onPacket func(seq int64, at sim.Cycles)) error {
+	entry := ctrl.Costs().Entry
+	return ctrl.Register(vector, k.c, victim, func(v irq.Vector, at sim.Cycles) sim.Cycles {
+		head := k.c.ReadWord(headAddr)
+		tail := k.c.ReadWord(tailAddr)
+		var cost sim.Cycles
+		for seq := head; seq < tail; seq++ {
+			cost += perPacket
+			if onPacket != nil {
+				onPacket(seq, at+entry+cost)
+			}
+		}
+		if tail != head {
+			k.c.WriteWord(headAddr, tail)
+		}
+		return cost
+	})
+}
+
+// FlexSC is the exception-less *software* baseline from FlexSC (Soares &
+// Stumm, OSDI '10), which the paper cites as the best a conventional kernel
+// can do without new hardware: user threads post syscalls to shared memory
+// pages and dedicated kernel threads execute them in batches, trading mode
+// switches for polling latency and a dedicated core.
+//
+// Syscall page layout (32 bytes per entry at PageBase + 32*i):
+//
+//	+0:  status (0 free, 1 posted, 2 done)
+//	+8:  syscall number
+//	+16: argument
+//	+24: result
+type FlexSC struct {
+	k *Legacy
+	// PageBase is the shared syscall page address.
+	PageBase int64
+	// Entries is the page capacity.
+	Entries int
+	// ScanCost is charged per scan pass; EntryCost per executed call
+	// (on top of the syscall's own cost).
+	ScanCost  sim.Cycles
+	EntryCost sim.Cycles
+
+	executed uint64
+}
+
+const (
+	flexscEntryBytes = 32
+	flexscStatus     = 0
+	flexscNum        = 8
+	flexscArg        = 16
+	flexscRes        = 24
+
+	// FlexSC entry states.
+	flexscFree   = 0
+	flexscPosted = 1
+	flexscDone   = 2
+)
+
+// NewFlexSC creates the shared-page machinery and registers the kernel-side
+// worker native ("flexsc.scan") on the kernel's own core. Bind a program
+// that loops `native flexsc.scan; jmp` on a dedicated supervisor ptid to run
+// it — that thread is the "dedicated kernel core" FlexSC burns.
+func NewFlexSC(k *Legacy, pageBase int64, entries int) *FlexSC {
+	f := &FlexSC{k: k, PageBase: pageBase, Entries: entries, ScanCost: 60, EntryCost: 40}
+	k.c.RegisterNative("flexsc.scan", f.scan)
+	return f
+}
+
+// RegisterWorkerOn makes the scan native available on another core, so the
+// dedicated FlexSC worker can run on its own physical core (the usual FlexSC
+// deployment: syscall threads pinned away from application cores).
+func (f *FlexSC) RegisterWorkerOn(c *core.Core) {
+	c.RegisterNative("flexsc.scan", f.scan)
+}
+
+// WorkerProgramSource returns the assembly for the kernel-side poller.
+func (f *FlexSC) WorkerProgramSource() string {
+	return "worker:\n\tnative flexsc.scan\n\tjmp worker\n"
+}
+
+// Executed returns the number of syscalls executed through the page.
+func (f *FlexSC) Executed() uint64 { return f.executed }
+
+// Post writes a syscall into entry slot i (user-side helper; the costs of
+// the three stores are charged by the ST instructions or the caller).
+func (f *FlexSC) Post(slot int, num, arg int64) {
+	base := f.PageBase + int64(slot)*flexscEntryBytes
+	f.k.c.WriteWord(base+flexscNum, num)
+	f.k.c.WriteWord(base+flexscArg, arg)
+	f.k.c.WriteWord(base+flexscStatus, flexscPosted)
+}
+
+// Poll reports whether slot i is done and returns its result, clearing the
+// entry when done.
+func (f *FlexSC) Poll(slot int) (done bool, result int64) {
+	base := f.PageBase + int64(slot)*flexscEntryBytes
+	if f.k.c.ReadWord(base+flexscStatus) != flexscDone {
+		return false, 0
+	}
+	res := f.k.c.ReadWord(base + flexscRes)
+	f.k.c.WriteWord(base+flexscStatus, flexscFree)
+	return true, res
+}
+
+// StatusAddr returns the monitorable status address of a slot.
+func (f *FlexSC) StatusAddr(slot int) int64 {
+	return f.PageBase + int64(slot)*flexscEntryBytes + flexscStatus
+}
+
+// scan is the kernel worker body: execute every posted entry in the page.
+func (f *FlexSC) scan(c *core.Core, t *hwthread.Context) sim.Cycles {
+	cost := f.ScanCost
+	for i := 0; i < f.Entries; i++ {
+		base := f.PageBase + int64(i)*flexscEntryBytes
+		if c.ReadWord(base+flexscStatus) != flexscPosted {
+			continue
+		}
+		num := c.ReadWord(base + flexscNum)
+		arg := c.ReadWord(base + flexscArg)
+		fn, ok := f.k.table[num]
+		ret := int64(-1)
+		if ok {
+			var sysCost sim.Cycles
+			ret, sysCost = fn(t, [4]int64{arg})
+			cost += sysCost
+			f.k.syscalls++
+		} else {
+			f.k.unknown++
+		}
+		cost += f.EntryCost
+		c.WriteWord(base+flexscRes, ret)
+		c.WriteWord(base+flexscStatus, flexscDone)
+		f.executed++
+	}
+	return cost
+}
+
+// SoftThread is a software thread the legacy scheduler multiplexes onto a
+// hardware thread: a register snapshot plus program binding. Swapping one in
+// or out is what costs the legacy world its context-switch cycles.
+type SoftThread struct {
+	Name string
+	Regs hwthread.Context // only Regs and Prog fields are used
+}
+
+// SoftScheduler multiplexes software threads on one hardware thread with an
+// explicit context-switch cost — the §1 mechanism the paper wants to make
+// "as uncommon as swapping memory pages to disk".
+type SoftScheduler struct {
+	c      *core.Core
+	ptid   hwthread.PTID
+	swaps  uint64
+	curIdx int
+	cur    *SoftThread
+}
+
+// NewSoftScheduler manages software-thread swaps on ptid.
+func NewSoftScheduler(c *core.Core, ptid hwthread.PTID) *SoftScheduler {
+	return &SoftScheduler{c: c, ptid: ptid, curIdx: -1}
+}
+
+// Swaps returns the number of context switches performed.
+func (s *SoftScheduler) Swaps() uint64 { return s.swaps }
+
+// SwitchTo saves the current software thread's registers and installs next.
+// It charges the context-switch cost by injecting delay into the hardware
+// thread, exactly as a real switch steals time. The hardware thread must be
+// stopped by the caller around the swap (as a kernel would hold the thread
+// in kernel context).
+func (s *SoftScheduler) SwitchTo(next *SoftThread) error {
+	t := s.c.Threads().Context(s.ptid)
+	if t == nil {
+		return fmt.Errorf("kernel: no ptid %d", s.ptid)
+	}
+	if t.State == hwthread.Runnable {
+		return fmt.Errorf("kernel: cannot swap a runnable hardware thread")
+	}
+	if s.cur != nil {
+		s.cur.Regs.Regs = t.Regs
+		s.cur.Regs.Prog = t.Prog
+	}
+	t.Regs = next.Regs.Regs
+	t.Prog = next.Regs.Prog
+	s.cur = next
+	s.swaps++
+	return nil
+}
+
+// SwitchCost returns the per-swap cost from the core's configuration.
+func (s *SoftScheduler) SwitchCost() sim.Cycles { return s.c.Costs().ContextSwitch }

@@ -1,0 +1,355 @@
+// Package kernel implements the two operating-system personalities compared
+// throughout the paper, plus the queueing-level server models used by the
+// tail-latency experiments:
+//
+//   - Legacy: a conventional kernel. Syscalls are in-thread privilege-mode
+//     switches, I/O is interrupt-driven, and software threads are
+//     multiplexed onto the few OS-visible hardware threads by a scheduler
+//     that pays context-switch costs. A FlexSC-style asynchronous syscall
+//     mode is included as the strongest software-only baseline.
+//   - Nocs: the paper's kernel. Every kernel service is a dedicated
+//     hardware thread blocked in monitor/mwait; syscalls and faults are
+//     exception descriptors; I/O threads wake on device queue-tail writes;
+//     servers run thread-per-request on hardware threads.
+//
+// The queueing servers in this file model request service disciplines
+// exactly (event-driven, deterministic): FCFS run-to-completion (IX/ZygOS
+// style), fluid processor sharing (the hardware RR of §4), and software
+// timeslicing with per-switch costs (the legacy preemptive alternative).
+// They are validated in the tests against M/M/1 and M/G/1 theory.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"nocs/internal/sim"
+	"nocs/internal/workload"
+)
+
+// Completion reports one finished request.
+type Completion struct {
+	Req    workload.Request
+	Finish sim.Cycles
+	// Latency is finish - arrival (sojourn time).
+	Latency sim.Cycles
+}
+
+// QueueServer is a request service discipline running on the event engine.
+type QueueServer interface {
+	// Submit schedules a request's arrival (Req.Arrival must be ≥ now).
+	Submit(r workload.Request)
+	// Name identifies the discipline in reports.
+	Name() string
+}
+
+// FCFSServer is run-to-completion first-come-first-served on K servers —
+// the dataplane-OS baseline. Each dispatch pays Overhead cycles (interrupt
+// delivery, scheduler, context switch) before service.
+type FCFSServer struct {
+	eng        *sim.Engine
+	K          int
+	Overhead   sim.Cycles
+	OnComplete func(Completion)
+
+	queue []workload.Request
+	busy  int
+	done  uint64
+}
+
+// NewFCFS builds an FCFS server pool.
+func NewFCFS(eng *sim.Engine, k int, overhead sim.Cycles, onComplete func(Completion)) *FCFSServer {
+	if k < 1 {
+		k = 1
+	}
+	return &FCFSServer{eng: eng, K: k, Overhead: overhead, OnComplete: onComplete}
+}
+
+// Name identifies the discipline.
+func (s *FCFSServer) Name() string { return "legacy-fcfs" }
+
+// Submit schedules the arrival.
+func (s *FCFSServer) Submit(r workload.Request) {
+	s.eng.At(r.Arrival, "fcfs-arrival", func() {
+		s.queue = append(s.queue, r)
+		s.dispatch()
+	})
+}
+
+// Completed returns the number of finished requests.
+func (s *FCFSServer) Completed() uint64 { return s.done }
+
+func (s *FCFSServer) dispatch() {
+	for s.busy < s.K && len(s.queue) > 0 {
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		s.busy++
+		total := s.Overhead + r.Demand
+		s.eng.After(total, "fcfs-done", func() {
+			s.busy--
+			s.done++
+			if s.OnComplete != nil {
+				s.OnComplete(Completion{Req: r, Finish: s.eng.Now(), Latency: s.eng.Now() - r.Arrival})
+			}
+			s.dispatch()
+		})
+	}
+}
+
+// PSServer is fluid processor sharing with capacity C: with n active
+// requests each runs at rate min(1, C/n). This is the discipline the
+// paper's hardware RR emulates (§4: "execute runnable hardware threads in a
+// fine-grain, round-robin manner, which emulates processor sharing").
+// Each request pays Overhead once at arrival — for the nocs personality this
+// is the hardware-thread start latency (tens of cycles), not a context
+// switch.
+type PSServer struct {
+	eng        *sim.Engine
+	C          int
+	Overhead   sim.Cycles
+	OnComplete func(Completion)
+	// MaxActive caps concurrent in-service requests (0 = unlimited). This
+	// models a finite hardware-thread pool: arrivals beyond the cap queue
+	// FCFS until a thread frees up (ablation A1).
+	MaxActive int
+
+	active     map[int]*psReq
+	pending    []workload.Request
+	lastUpdate sim.Cycles
+	nextEv     *sim.Event
+	done       uint64
+}
+
+type psReq struct {
+	r         workload.Request
+	remaining float64
+}
+
+// NewPS builds a processor-sharing server of capacity c.
+func NewPS(eng *sim.Engine, c int, overhead sim.Cycles, onComplete func(Completion)) *PSServer {
+	if c < 1 {
+		c = 1
+	}
+	return &PSServer{eng: eng, C: c, Overhead: overhead, OnComplete: onComplete,
+		active: make(map[int]*psReq)}
+}
+
+// Name identifies the discipline.
+func (s *PSServer) Name() string { return "nocs-ps" }
+
+// Completed returns the number of finished requests.
+func (s *PSServer) Completed() uint64 { return s.done }
+
+// Active returns the number of in-service requests.
+func (s *PSServer) Active() int { return len(s.active) }
+
+// Submit schedules the arrival.
+func (s *PSServer) Submit(r workload.Request) {
+	s.eng.At(r.Arrival, "ps-arrival", func() {
+		s.advance()
+		if s.MaxActive > 0 && len(s.active) >= s.MaxActive {
+			s.pending = append(s.pending, r)
+			return
+		}
+		s.admit(r)
+		s.reschedule()
+	})
+}
+
+func (s *PSServer) admit(r workload.Request) {
+	s.active[r.ID] = &psReq{r: r, remaining: float64(s.Overhead + r.Demand)}
+}
+
+// rate returns the current per-request service rate.
+func (s *PSServer) rate() float64 {
+	n := len(s.active)
+	if n == 0 {
+		return 0
+	}
+	if n <= s.C {
+		return 1
+	}
+	return float64(s.C) / float64(n)
+}
+
+// advance drains elapsed virtual work since the last update.
+func (s *PSServer) advance() {
+	now := s.eng.Now()
+	elapsed := float64(now - s.lastUpdate)
+	s.lastUpdate = now
+	if elapsed <= 0 || len(s.active) == 0 {
+		return
+	}
+	r := s.rate()
+	for _, a := range s.active {
+		a.remaining -= elapsed * r
+	}
+}
+
+// reschedule finds the next completion and arms a single event for it.
+func (s *PSServer) reschedule() {
+	if s.nextEv != nil {
+		s.nextEv.Cancel()
+		s.nextEv = nil
+	}
+	if len(s.active) == 0 {
+		return
+	}
+	// Smallest remaining completes first; ties break on lower ID for
+	// determinism.
+	var min *psReq
+	for _, a := range s.active {
+		if min == nil || a.remaining < min.remaining ||
+			(a.remaining == min.remaining && a.r.ID < min.r.ID) {
+			min = a
+		}
+	}
+	r := s.rate()
+	wait := sim.Cycles(math.Ceil(math.Max(0, min.remaining) / r))
+	target := min
+	s.nextEv = s.eng.After(wait, "ps-done", func() {
+		s.nextEv = nil
+		s.advance()
+		// Complete everything at or below zero (simultaneous finishers).
+		for id, a := range s.active {
+			if a.remaining <= 1e-9 || a == target {
+				delete(s.active, id)
+				s.done++
+				if s.OnComplete != nil {
+					s.OnComplete(Completion{Req: a.r, Finish: s.eng.Now(), Latency: s.eng.Now() - a.r.Arrival})
+				}
+			}
+		}
+		// Admit queued arrivals into freed hardware threads.
+		for len(s.pending) > 0 && (s.MaxActive <= 0 || len(s.active) < s.MaxActive) {
+			s.admit(s.pending[0])
+			s.pending = s.pending[1:]
+		}
+		s.reschedule()
+	})
+}
+
+// TimesliceServer is the legacy preemptive alternative: K servers running a
+// software scheduler with a fixed Quantum; every quantum boundary that
+// switches between different requests pays SwitchCost (register save/restore
+// plus scheduler, §1). As Quantum → 0 it approaches PS but the switch
+// overhead dominates; as Quantum → ∞ it degenerates to FCFS.
+type TimesliceServer struct {
+	eng        *sim.Engine
+	K          int
+	Quantum    sim.Cycles
+	SwitchCost sim.Cycles
+	OnComplete func(Completion)
+
+	queue  []*tsReq
+	busy   int
+	done   uint64
+	sswaps uint64
+}
+
+type tsReq struct {
+	r         workload.Request
+	remaining sim.Cycles
+}
+
+// NewTimeslice builds a preemptive timeslicing server pool.
+func NewTimeslice(eng *sim.Engine, k int, quantum, switchCost sim.Cycles, onComplete func(Completion)) *TimesliceServer {
+	if k < 1 {
+		k = 1
+	}
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &TimesliceServer{eng: eng, K: k, Quantum: quantum, SwitchCost: switchCost, OnComplete: onComplete}
+}
+
+// Name identifies the discipline.
+func (s *TimesliceServer) Name() string { return "legacy-timeslice" }
+
+// Completed returns finished request count; Switches the context switches.
+func (s *TimesliceServer) Completed() uint64 { return s.done }
+
+// Switches returns the number of context switches performed.
+func (s *TimesliceServer) Switches() uint64 { return s.sswaps }
+
+// Submit schedules the arrival.
+func (s *TimesliceServer) Submit(r workload.Request) {
+	s.eng.At(r.Arrival, "ts-arrival", func() {
+		s.queue = append(s.queue, &tsReq{r: r, remaining: r.Demand})
+		s.dispatch()
+	})
+}
+
+func (s *TimesliceServer) dispatch() {
+	for s.busy < s.K && len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.busy++
+		s.runSlice(req)
+	}
+}
+
+func (s *TimesliceServer) runSlice(req *tsReq) {
+	slice := req.remaining
+	if slice > s.Quantum {
+		slice = s.Quantum
+	}
+	// Every dispatch pays the switch (the previous context must be saved
+	// and this one restored — in the legacy world this is a software
+	// context switch even when resuming the same request after others ran).
+	s.sswaps++
+	s.eng.After(s.SwitchCost+slice, "ts-slice", func() {
+		req.remaining -= slice
+		s.busy--
+		if req.remaining <= 0 {
+			s.done++
+			if s.OnComplete != nil {
+				s.OnComplete(Completion{Req: req.r, Finish: s.eng.Now(), Latency: s.eng.Now() - req.r.Arrival})
+			}
+		} else {
+			s.queue = append(s.queue, req)
+		}
+		s.dispatch()
+	})
+}
+
+// RunOpenLoop submits requests to a server and runs the engine to
+// completion, returning the completions in finish order. All requests must
+// have arrival times at or after the engine's current time.
+func RunOpenLoop(eng *sim.Engine, srv QueueServer, reqs []workload.Request) []Completion {
+	var out []Completion
+	collect := func(c Completion) { out = append(out, c) }
+	switch s := srv.(type) {
+	case *FCFSServer:
+		prev := s.OnComplete
+		s.OnComplete = func(c Completion) {
+			if prev != nil {
+				prev(c)
+			}
+			collect(c)
+		}
+	case *PSServer:
+		prev := s.OnComplete
+		s.OnComplete = func(c Completion) {
+			if prev != nil {
+				prev(c)
+			}
+			collect(c)
+		}
+	case *TimesliceServer:
+		prev := s.OnComplete
+		s.OnComplete = func(c Completion) {
+			if prev != nil {
+				prev(c)
+			}
+			collect(c)
+		}
+	default:
+		panic(fmt.Sprintf("kernel: unknown server type %T", srv))
+	}
+	for _, r := range reqs {
+		srv.Submit(r)
+	}
+	eng.Run(0)
+	return out
+}

@@ -1,0 +1,287 @@
+// Package metrics provides the measurement plumbing for the experiment
+// harness: log-bucketed latency histograms with bounded-error quantiles,
+// throughput counters, and aligned table rendering for paper-style output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"nocs/internal/sim"
+)
+
+// Histogram records non-negative int64 samples (cycles) in logarithmic
+// buckets: values up to 64 are exact; above that, each power of two is split
+// into 16 sub-buckets, bounding relative quantile error at ~6%.
+type Histogram struct {
+	buckets map[int]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64), min: math.MaxInt64}
+}
+
+const (
+	histExactLimit = 64
+	histSubBuckets = 16
+)
+
+// bucketOf maps a value to its bucket index: the value's power-of-two range
+// split into 16 linear sub-buckets.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histExactLimit {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v)) // ≥ 6 here
+	sub := int((v >> uint(msb-4)) & (histSubBuckets - 1))
+	return histExactLimit + (msb-6)*histSubBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket index b.
+func bucketLow(b int) int64 {
+	if b < histExactLimit {
+		return int64(b)
+	}
+	rel := b - histExactLimit
+	msb := rel/histSubBuckets + 6
+	sub := rel % histSubBuckets
+	return (1 << uint(msb)) | (int64(sub) << uint(msb-4))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordCycles adds one sim.Cycles sample.
+func (h *Histogram) RecordCycles(c sim.Cycles) { h.Record(int64(c)) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 ≤ q ≤ 1).
+// The estimate is the lower bound of the first bucket whose cumulative count
+// reaches q, giving ≤ one-bucket error.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	idxs := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		idxs = append(idxs, b)
+	}
+	sort.Ints(idxs)
+	var cum uint64
+	for _, b := range idxs {
+		cum += h.buckets[b]
+		if cum >= target {
+			lo := bucketLow(b)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Summary returns (p50, p99, p999, mean).
+func (h *Histogram) Summary() (p50, p99, p999 int64, mean float64) {
+	return h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Mean()
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for b, n := range other.buckets {
+		h.buckets[b] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Table renders paper-style aligned tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, hd := range t.Headers {
+		widths[i] = len(hd)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoted fields where needed),
+// one header row plus data rows; the title is omitted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Throughput converts a completion count over a cycle span into operations
+// per second at the given clock frequency (GHz).
+func Throughput(ops uint64, span sim.Cycles, freqGHz float64) float64 {
+	if span <= 0 {
+		return 0
+	}
+	if freqGHz <= 0 {
+		freqGHz = sim.DefaultFrequencyGHz
+	}
+	seconds := float64(span) / (freqGHz * 1e9)
+	return float64(ops) / seconds
+}
+
+// CyclesToUs converts cycles to microseconds at the given frequency.
+func CyclesToUs(c int64, freqGHz float64) float64 {
+	if freqGHz <= 0 {
+		freqGHz = sim.DefaultFrequencyGHz
+	}
+	return float64(c) / (freqGHz * 1e3)
+}

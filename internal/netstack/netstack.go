@@ -1,0 +1,255 @@
+// Package netstack implements a small network stack as a microkernel-style
+// service — the architecture the paper attributes to TAS and Snap (§2:
+// "I/O-intensive services, which have so far resorted to using dedicated
+// cores (TAS, Snap)") but running on a parked hardware thread instead of a
+// polling core.
+//
+// The stack is one service thread that watches the NIC's RX tail and a send
+// mailbox. Packets are word sequences:
+//
+//	word 0: destination port
+//	word 1: source port
+//	word 2+: payload
+//
+// Received packets are demultiplexed by destination port into per-socket
+// receive rings in memory; each socket has a doorbell word that the stack
+// bumps after enqueueing, so applications block on their own socket with
+// monitor/mwait (or Socket.Recv from Go) and wake per delivery. Sends go
+// out through the NIC's TX descriptor ring.
+package netstack
+
+import (
+	"fmt"
+
+	"nocs/internal/device"
+	"nocs/internal/hwthread"
+	"nocs/internal/kernel"
+	"nocs/internal/sim"
+)
+
+// Per-socket receive ring layout at sock.base:
+//
+//	+0:            doorbell (count of packets ever delivered; monitorable)
+//	+8:            consumer count (application publishes)
+//	+16 + 16*i:    slot i: payload address, payload words
+const (
+	sockDoorbell  = 0
+	sockConsumed  = 8
+	sockSlots     = 16
+	sockSlotBytes = 16
+)
+
+// Config lays out the stack's memory.
+type Config struct {
+	// SocketBase is where per-socket rings are allocated (0x400 bytes each).
+	SocketBase int64
+	// BufBase is where received payloads are copied (one buffer per ring
+	// slot per socket).
+	BufBase int64
+	// SendMailbox is the mailbox the stack watches for transmit requests.
+	SendMailbox int64
+	// RingEntries is the per-socket receive ring size (default 16).
+	RingEntries int
+	// PerPacket is the protocol-processing cost (default 600 cycles).
+	PerPacket sim.Cycles
+}
+
+func (c *Config) setDefaults() {
+	if c.RingEntries == 0 {
+		c.RingEntries = 16
+	}
+	if c.PerPacket == 0 {
+		c.PerPacket = 600
+	}
+}
+
+// Stack is the network-stack service.
+type Stack struct {
+	cfg Config
+	k   *kernel.Nocs
+	nic *device.NIC
+
+	sockets  map[int64]*Socket // port -> socket
+	rxHead   int64
+	received uint64
+	dropped  uint64 // no socket bound / ring full
+	sent     uint64
+	txSeq    int64
+	ptid     hwthread.PTID
+}
+
+// Socket is one bound port's receive ring.
+type Socket struct {
+	Port int64
+	base int64
+	st   *Stack
+	idx  int
+	// delivered is the stack's authoritative count; the doorbell word in
+	// memory trails it by the in-flight processing time.
+	delivered int64
+}
+
+// New spawns the stack service over the given NIC. The NIC must have its
+// transmit side configured (TXDoorbell etc.) for Send to work.
+func New(k *kernel.Nocs, nic *device.NIC, cfg Config) (*Stack, error) {
+	cfg.setDefaults()
+	s := &Stack{cfg: cfg, k: k, nic: nic, sockets: make(map[int64]*Socket)}
+	watch := func() []int64 {
+		return []int64{nic.TailAddr(), cfg.SendMailbox}
+	}
+	p, err := k.SpawnService("netstack", watch, func(t *hwthread.Context) sim.Cycles {
+		var cost sim.Cycles
+		cost += s.drainRX()
+		cost += s.drainSend()
+		return cost
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ptid = p
+	return s, nil
+}
+
+// PTID returns the stack's hardware thread.
+func (s *Stack) PTID() hwthread.PTID { return s.ptid }
+
+// Bind allocates a socket on port. Binding a bound port fails.
+func (s *Stack) Bind(port int64) (*Socket, error) {
+	if _, dup := s.sockets[port]; dup {
+		return nil, fmt.Errorf("netstack: port %d already bound", port)
+	}
+	idx := len(s.sockets)
+	sock := &Socket{
+		Port: port,
+		base: s.cfg.SocketBase + int64(idx)*0x400,
+		st:   s,
+		idx:  idx,
+	}
+	s.sockets[port] = sock
+	return sock, nil
+}
+
+// drainRX demuxes new NIC packets into socket rings.
+func (s *Stack) drainRX() sim.Cycles {
+	c := s.k.Core()
+	tail := c.ReadWord(s.nic.TailAddr())
+	var cost sim.Cycles
+	for ; s.rxHead < tail; s.rxHead++ {
+		bufAddr, length, ready := s.nic.ReadDesc(s.rxHead)
+		if !ready || length < 2 {
+			s.dropped++
+			continue
+		}
+		cost += s.cfg.PerPacket
+		dst := c.ReadWord(bufAddr)
+		sock, ok := s.sockets[dst]
+		if !ok {
+			s.dropped++
+			continue
+		}
+		consumed := c.ReadWord(sock.base + sockConsumed)
+		if sock.delivered-consumed >= int64(s.cfg.RingEntries) {
+			s.dropped++
+			continue
+		}
+		slot := sock.delivered % int64(s.cfg.RingEntries)
+		// Copy the payload into the socket's buffer area.
+		dstBuf := s.cfg.BufBase + (int64(sock.idx)*int64(s.cfg.RingEntries)+slot)*256
+		for i := int64(0); i < length; i++ {
+			c.WriteWord(dstBuf+i*8, c.ReadWord(bufAddr+i*8))
+		}
+		se := sock.base + sockSlots + slot*sockSlotBytes
+		c.WriteWord(se, dstBuf)
+		c.WriteWord(se+8, length)
+		// Doorbell last: monitor waiters see a complete slot.
+		sock.delivered++
+		at := cost
+		db := sock.delivered
+		c.Engine().After(at, "sock-rx", func() {
+			c.WriteWord(sock.base+sockDoorbell, db)
+		})
+		s.received++
+	}
+	// Publish NIC head for flow control.
+	if headAddr := s.nic.Config().HeadAddr; headAddr != 0 && tail != s.rxHead {
+		c.WriteWord(headAddr, s.rxHead)
+	} else if headAddr != 0 {
+		c.WriteWord(headAddr, tail)
+	}
+	return cost
+}
+
+// Send mailbox layout at cfg.SendMailbox:
+//
+//	+0:  status (1 = posted)
+//	+8:  source payload address
+//	+16: payload words
+const (
+	sendStatus = 0
+	sendAddr   = 8
+	sendLen    = 16
+)
+
+// drainSend pushes one posted send request into the NIC TX ring.
+func (s *Stack) drainSend() sim.Cycles {
+	c := s.k.Core()
+	if c.ReadWord(s.cfg.SendMailbox+sendStatus) != 1 {
+		return 0
+	}
+	addr := c.ReadWord(s.cfg.SendMailbox + sendAddr)
+	length := c.ReadWord(s.cfg.SendMailbox + sendLen)
+	c.WriteWord(s.cfg.SendMailbox+sendStatus, 0)
+	s.nic.WriteTXDesc(c.Mem(), s.txSeq, addr, length)
+	s.txSeq++
+	cost := s.cfg.PerPacket/2 + c.AccessCost(s.nic.Config().TXDoorbell)
+	seq := s.txSeq
+	c.Engine().After(cost, "tx-doorbell", func() {
+		c.WriteWord(s.nic.Config().TXDoorbell, seq)
+	})
+	s.sent++
+	return cost
+}
+
+// Send posts a transmit request (Go-side helper; applications in assembly
+// write the same mailbox words with ST instructions).
+func (s *Stack) Send(payloadAddr, words int64) {
+	c := s.k.Core()
+	c.WriteWord(s.cfg.SendMailbox+sendAddr, payloadAddr)
+	c.WriteWord(s.cfg.SendMailbox+sendLen, words)
+	c.WriteWord(s.cfg.SendMailbox+sendStatus, 1)
+}
+
+// Stats returns (received, dropped, sent).
+func (s *Stack) Stats() (received, dropped, sent uint64) {
+	return s.received, s.dropped, s.sent
+}
+
+// DoorbellAddr returns the socket's monitorable delivery counter address —
+// what an application thread arms monitor on.
+func (sk *Socket) DoorbellAddr() int64 { return sk.base + sockDoorbell }
+
+// Pending reports packets delivered but not yet consumed.
+func (sk *Socket) Pending() int64 {
+	c := sk.st.k.Core()
+	return c.ReadWord(sk.base+sockDoorbell) - c.ReadWord(sk.base+sockConsumed)
+}
+
+// Recv pops the next packet (Go-side helper). ok is false when empty.
+func (sk *Socket) Recv() (payload []int64, ok bool) {
+	c := sk.st.k.Core()
+	delivered := c.ReadWord(sk.base + sockDoorbell)
+	consumed := c.ReadWord(sk.base + sockConsumed)
+	if consumed >= delivered {
+		return nil, false
+	}
+	slot := consumed % int64(sk.st.cfg.RingEntries)
+	se := sk.base + sockSlots + slot*sockSlotBytes
+	buf := c.ReadWord(se)
+	length := c.ReadWord(se + 8)
+	payload = make([]int64, length)
+	for i := range payload {
+		payload[i] = c.ReadWord(buf + int64(i)*8)
+	}
+	c.WriteWord(sk.base+sockConsumed, consumed+1)
+	return payload, true
+}

@@ -1,0 +1,201 @@
+// Package pipeline models how a core's few SMT slots are multiplexed, in
+// hardware, across its many runnable hardware threads (§4, "Support for
+// Thread Scheduling"):
+//
+//	"A simple way to meet this requirement is to execute runnable hardware
+//	 threads in a fine-grain, round-robin (RR) manner, which emulates
+//	 processor sharing (PS) and allows all runnable threads to make progress
+//	 without the need for interrupts. ... In addition to RR scheduling, we
+//	 can introduce hardware support for thread priorities."
+//
+// Two views of the same policy are provided:
+//
+//   - NextBatch: an explicit weighted deficit-round-robin issue sequence,
+//     used where instruction-by-instruction ordering matters and to verify
+//     the fairness bound.
+//   - Slowdown/ChargedLatency: the processor-sharing fluid approximation —
+//     with S slots and total runnable weight W, a thread of weight w runs at
+//     share min(1, S·w/W) of full speed. The core model charges instruction
+//     latencies scaled by the inverse share, which is the standard
+//     event-driven PS approximation.
+package pipeline
+
+import (
+	"fmt"
+
+	"nocs/internal/sim"
+)
+
+type thread struct {
+	id      int
+	weight  int
+	credits int
+	issued  uint64
+}
+
+// Pipeline is the hardware issue multiplexer for one core.
+type Pipeline struct {
+	slots int
+
+	threads map[int]*thread
+	order   []int // stable RR order (insertion order)
+	cursor  int   // rotating pointer into order
+
+	totalWeight int
+}
+
+// New creates a pipeline with the given number of SMT issue slots
+// (the paper suggests 2–4; default 2 if slots < 1).
+func New(slots int) *Pipeline {
+	if slots < 1 {
+		slots = 2
+	}
+	return &Pipeline{slots: slots, threads: make(map[int]*thread)}
+}
+
+// Slots returns the SMT slot count.
+func (p *Pipeline) Slots() int { return p.slots }
+
+// Len returns the number of runnable threads.
+func (p *Pipeline) Len() int { return len(p.threads) }
+
+// TotalWeight returns the sum of runnable thread weights.
+func (p *Pipeline) TotalWeight() int { return p.totalWeight }
+
+// Add makes thread id runnable with the given weight (min 1).
+// Adding an existing id updates its weight.
+func (p *Pipeline) Add(id, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	if t, ok := p.threads[id]; ok {
+		p.totalWeight += weight - t.weight
+		t.weight = weight
+		return
+	}
+	t := &thread{id: id, weight: weight}
+	p.threads[id] = t
+	p.order = append(p.order, id)
+	p.totalWeight += weight
+}
+
+// Remove takes thread id out of the runnable set.
+func (p *Pipeline) Remove(id int) {
+	t, ok := p.threads[id]
+	if !ok {
+		return
+	}
+	p.totalWeight -= t.weight
+	delete(p.threads, id)
+	for i, v := range p.order {
+		if v == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			if p.cursor > i {
+				p.cursor--
+			}
+			break
+		}
+	}
+	if len(p.order) == 0 {
+		p.cursor = 0
+	} else {
+		p.cursor %= len(p.order)
+	}
+}
+
+// Contains reports whether id is runnable.
+func (p *Pipeline) Contains(id int) bool {
+	_, ok := p.threads[id]
+	return ok
+}
+
+// Weight returns thread id's weight (0 if absent).
+func (p *Pipeline) Weight(id int) int {
+	if t, ok := p.threads[id]; ok {
+		return t.weight
+	}
+	return 0
+}
+
+// Issued returns how many issue slots thread id has consumed via NextBatch.
+func (p *Pipeline) Issued(id int) uint64 {
+	if t, ok := p.threads[id]; ok {
+		return t.issued
+	}
+	return 0
+}
+
+// Slowdown returns the PS slowdown factor for thread id: ≥ 1, equal to 1
+// while the runnable set fits in the SMT slots. Returns 0 for absent ids.
+func (p *Pipeline) Slowdown(id int) float64 {
+	t, ok := p.threads[id]
+	if !ok {
+		return 0
+	}
+	share := float64(p.slots) * float64(t.weight) / float64(p.totalWeight)
+	if share >= 1 {
+		return 1
+	}
+	return 1 / share
+}
+
+// ChargedLatency scales a base instruction latency by the thread's current
+// PS slowdown, rounding up. This is what the core charges per instruction.
+func (p *Pipeline) ChargedLatency(id int, base sim.Cycles) sim.Cycles {
+	sd := p.Slowdown(id)
+	if sd == 0 {
+		return base
+	}
+	c := sim.Cycles(float64(base)*sd + 0.999999)
+	if c < base {
+		c = base
+	}
+	return c
+}
+
+// NextBatch returns the ids of up to Slots threads chosen for this issue
+// cycle by weighted deficit round robin, and records the issue. With equal
+// weights this degenerates to pure RR; with weights, issue counts are
+// proportional to weight over any sufficiently long window.
+func (p *Pipeline) NextBatch() []int {
+	n := len(p.order)
+	if n == 0 {
+		return nil
+	}
+	want := p.slots
+	if want > n {
+		want = n
+	}
+	batch := make([]int, 0, want)
+	inBatch := make(map[int]bool, want)
+	scanned := 0
+	for len(batch) < want {
+		if scanned >= n {
+			// A full rotation could not fill the batch: refill credits by
+			// weight (work-conserving — slots never idle while any thread
+			// is runnable) and rescan.
+			for _, t := range p.threads {
+				t.credits += t.weight
+			}
+			scanned = 0
+			continue
+		}
+		id := p.order[p.cursor]
+		p.cursor = (p.cursor + 1) % n
+		scanned++
+		t := p.threads[id]
+		if inBatch[id] || t.credits <= 0 {
+			continue
+		}
+		t.credits--
+		t.issued++
+		inBatch[id] = true
+		batch = append(batch, id)
+	}
+	return batch
+}
+
+// String summarizes the pipeline state for debugging.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("pipeline{slots=%d runnable=%d weight=%d}", p.slots, len(p.threads), p.totalWeight)
+}

@@ -1,0 +1,293 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nocs/internal/sim"
+)
+
+func TestAddRemoveContains(t *testing.T) {
+	p := New(2)
+	p.Add(1, 1)
+	p.Add(2, 3)
+	if !p.Contains(1) || !p.Contains(2) || p.Contains(3) {
+		t.Fatal("Contains")
+	}
+	if p.Len() != 2 || p.TotalWeight() != 4 {
+		t.Fatalf("len=%d weight=%d", p.Len(), p.TotalWeight())
+	}
+	p.Add(2, 5) // weight update
+	if p.TotalWeight() != 6 || p.Weight(2) != 5 {
+		t.Fatalf("after update weight=%d", p.TotalWeight())
+	}
+	p.Remove(1)
+	if p.Contains(1) || p.Len() != 1 || p.TotalWeight() != 5 {
+		t.Fatal("Remove")
+	}
+	p.Remove(1) // idempotent
+	if p.Weight(9) != 0 {
+		t.Fatal("absent weight")
+	}
+}
+
+func TestWeightClamp(t *testing.T) {
+	p := New(2)
+	p.Add(1, 0)
+	p.Add(2, -4)
+	if p.Weight(1) != 1 || p.Weight(2) != 1 {
+		t.Fatal("weights not clamped to 1")
+	}
+	if New(0).Slots() != 2 {
+		t.Fatal("default slots")
+	}
+}
+
+func TestSlowdownNoContention(t *testing.T) {
+	p := New(2)
+	p.Add(1, 1)
+	p.Add(2, 1)
+	// 2 threads on 2 slots: full speed.
+	if p.Slowdown(1) != 1 || p.Slowdown(2) != 1 {
+		t.Fatal("slowdown with free slots")
+	}
+	if p.Slowdown(99) != 0 {
+		t.Fatal("absent thread slowdown")
+	}
+}
+
+func TestSlowdownContention(t *testing.T) {
+	p := New(2)
+	for i := 0; i < 8; i++ {
+		p.Add(i, 1)
+	}
+	// 8 equal threads on 2 slots: each runs at 1/4 speed.
+	for i := 0; i < 8; i++ {
+		if got := p.Slowdown(i); math.Abs(got-4) > 1e-9 {
+			t.Fatalf("slowdown = %v, want 4", got)
+		}
+	}
+}
+
+func TestSlowdownWeighted(t *testing.T) {
+	p := New(1)
+	p.Add(1, 3) // total weight 4, 1 slot
+	p.Add(2, 1)
+	// share(1) = 3/4 -> slowdown 4/3; share(2) = 1/4 -> slowdown 4.
+	if got := p.Slowdown(1); math.Abs(got-4.0/3.0) > 1e-9 {
+		t.Fatalf("slowdown(1) = %v", got)
+	}
+	if got := p.Slowdown(2); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("slowdown(2) = %v", got)
+	}
+}
+
+func TestHighWeightCapsAtFullSpeed(t *testing.T) {
+	p := New(2)
+	p.Add(1, 100)
+	p.Add(2, 1)
+	if p.Slowdown(1) != 1 {
+		t.Fatal("share > 1 must clamp to full speed")
+	}
+}
+
+func TestChargedLatency(t *testing.T) {
+	p := New(1)
+	p.Add(1, 1)
+	p.Add(2, 1)
+	// slowdown 2: base 3 -> 6.
+	if got := p.ChargedLatency(1, 3); got != 6 {
+		t.Fatalf("charged = %v", got)
+	}
+	// Absent id charges base.
+	if got := p.ChargedLatency(9, 3); got != 3 {
+		t.Fatalf("absent charged = %v", got)
+	}
+	// Rounding up: 3 threads, 1 slot, base 1 -> 3; base 2 -> 6.
+	p.Add(3, 1)
+	if got := p.ChargedLatency(1, 1); got != 3 {
+		t.Fatalf("charged = %v", got)
+	}
+}
+
+func TestNextBatchEmpty(t *testing.T) {
+	p := New(2)
+	if p.NextBatch() != nil {
+		t.Fatal("batch from empty pipeline")
+	}
+}
+
+func TestNextBatchDistinctAndSized(t *testing.T) {
+	p := New(2)
+	for i := 0; i < 5; i++ {
+		p.Add(i, 1)
+	}
+	for round := 0; round < 100; round++ {
+		b := p.NextBatch()
+		if len(b) != 2 {
+			t.Fatalf("batch size %d", len(b))
+		}
+		if b[0] == b[1] {
+			t.Fatalf("duplicate in batch: %v", b)
+		}
+	}
+}
+
+func TestNextBatchFewerThreadsThanSlots(t *testing.T) {
+	p := New(4)
+	p.Add(1, 1)
+	p.Add(2, 1)
+	b := p.NextBatch()
+	if len(b) != 2 {
+		t.Fatalf("batch = %v", b)
+	}
+}
+
+func TestRRFairnessEqualWeights(t *testing.T) {
+	p := New(2)
+	const n = 6
+	for i := 0; i < n; i++ {
+		p.Add(i, 1)
+	}
+	const rounds = 3000
+	for r := 0; r < rounds; r++ {
+		p.NextBatch()
+	}
+	// Each thread should have issued rounds*slots/n = 1000 times, within one
+	// rotation of slack.
+	for i := 0; i < n; i++ {
+		got := float64(p.Issued(i))
+		if math.Abs(got-1000) > float64(n) {
+			t.Fatalf("thread %d issued %v, want ~1000", i, got)
+		}
+	}
+}
+
+func TestWeightedProportionality(t *testing.T) {
+	p := New(1)
+	p.Add(1, 3)
+	p.Add(2, 1)
+	for r := 0; r < 4000; r++ {
+		p.NextBatch()
+	}
+	r1, r2 := float64(p.Issued(1)), float64(p.Issued(2))
+	ratio := r1 / r2
+	if math.Abs(ratio-3) > 0.1 {
+		t.Fatalf("issue ratio %v, want ~3 (got %v/%v)", ratio, r1, r2)
+	}
+}
+
+func TestRemoveDuringRotationKeepsCursorValid(t *testing.T) {
+	p := New(1)
+	for i := 0; i < 4; i++ {
+		p.Add(i, 1)
+	}
+	p.NextBatch() // advance cursor
+	p.NextBatch()
+	p.Remove(0)
+	p.Remove(3)
+	for r := 0; r < 50; r++ {
+		b := p.NextBatch()
+		if len(b) != 1 || (b[0] != 1 && b[0] != 2) {
+			t.Fatalf("batch %v after removals", b)
+		}
+	}
+	p.Remove(1)
+	p.Remove(2)
+	if p.NextBatch() != nil {
+		t.Fatal("batch from drained pipeline")
+	}
+	p.Add(7, 1)
+	if b := p.NextBatch(); len(b) != 1 || b[0] != 7 {
+		t.Fatalf("batch %v after refill", b)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	p := New(2)
+	p.Add(1, 1)
+	if !strings.Contains(p.String(), "runnable=1") {
+		t.Fatalf("String: %s", p.String())
+	}
+}
+
+// Property: the RR fairness bound — for any thread set with equal weights,
+// after k full batches every pair of issue counts differs by at most the
+// thread count (one rotation of slack).
+func TestFairnessBoundProperty(t *testing.T) {
+	f := func(nThreads, slots, rounds uint8) bool {
+		n := int(nThreads%12) + 1
+		s := int(slots%4) + 1
+		k := int(rounds%200) + 10
+		p := New(s)
+		for i := 0; i < n; i++ {
+			p.Add(i, 1)
+		}
+		for r := 0; r < k; r++ {
+			p.NextBatch()
+		}
+		var lo, hi uint64 = math.MaxUint64, 0
+		for i := 0; i < n; i++ {
+			c := p.Issued(i)
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		return hi-lo <= uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slowdown is never below 1 for present threads and total issue
+// share is conserved (sum of 1/slowdown ≤ slots).
+func TestSlowdownConservationProperty(t *testing.T) {
+	f := func(weights []uint8, slots uint8) bool {
+		s := int(slots%4) + 1
+		p := New(s)
+		n := 0
+		for i, w := range weights {
+			if n >= 32 {
+				break
+			}
+			p.Add(i, int(w%7)+1)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		sumShare := 0.0
+		for i := 0; i < n; i++ {
+			sd := p.Slowdown(i)
+			if sd < 1 {
+				return false
+			}
+			sumShare += 1 / sd
+		}
+		return sumShare <= float64(s)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargedLatencyNeverBelowBase(t *testing.T) {
+	f := func(nThreads uint8, base uint16) bool {
+		p := New(2)
+		n := int(nThreads%20) + 1
+		for i := 0; i < n; i++ {
+			p.Add(i, 1)
+		}
+		b := sim.Cycles(base%1000) + 1
+		return p.ChargedLatency(0, b) >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. Fn runs when simulated time reaches At.
+// Events with equal timestamps run in scheduling (FIFO) order, which makes
+// runs bit-for-bit reproducible.
+type Event struct {
+	At   Cycles
+	Seq  uint64 // tie-breaker: insertion order
+	Name string // for tracing/debugging
+	Fn   func()
+
+	index     int // heap index
+	cancelled bool
+}
+
+// Cancel marks the event so it will be skipped when popped. Cancelling an
+// already-run event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event loop bound to a Clock.
+// It is not safe for concurrent use: the whole simulation is single-threaded
+// by design so that identical inputs give identical cycle-exact outputs
+// (virtual time cannot be perturbed by host scheduling or GC pauses).
+type Engine struct {
+	clock *Clock
+	heap  eventHeap
+	seq   uint64
+	ran   uint64
+}
+
+// NewEngine creates an engine driving the given clock.
+func NewEngine(clock *Clock) *Engine {
+	if clock == nil {
+		clock = NewClock()
+	}
+	return &Engine{clock: clock}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() *Clock { return e.clock }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycles { return e.clock.Now() }
+
+// Pending returns the number of events still queued (including cancelled
+// ones that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Ran returns the number of events executed so far.
+func (e *Engine) Ran() uint64 { return e.ran }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics.
+func (e *Engine) At(t Cycles, name string, fn func()) *Event {
+	if t < e.clock.Now() {
+		panic(fmt.Sprintf("sim: event %q scheduled at %d, before now=%d", name, t, e.clock.Now()))
+	}
+	ev := &Event{At: t, Seq: e.seq, Name: name, Fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycles, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: event %q scheduled %d cycles in the past", name, d))
+	}
+	return e.At(e.clock.Now()+d, name, fn)
+}
+
+// Step pops and runs the next event, advancing the clock to its timestamp.
+// It returns false when the queue is empty. Cancelled events are discarded
+// without advancing the clock past them (their timestamp still advances the
+// clock, preserving the property that cancellation does not reorder
+// subsequent events relative to a run where the event was a no-op).
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*Event)
+		e.clock.AdvanceTo(ev.At)
+		if ev.cancelled {
+			continue
+		}
+		e.ran++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or limit events have run.
+// limit <= 0 means no limit. It returns the number of events executed.
+func (e *Engine) Run(limit int) int {
+	n := 0
+	for limit <= 0 || n < limit {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. The clock is left at the later of its
+// current time and the deadline.
+func (e *Engine) RunUntil(deadline Cycles) int {
+	n := 0
+	for len(e.heap) > 0 {
+		// Peek.
+		next := e.heap[0]
+		if next.At > deadline {
+			break
+		}
+		if e.Step() {
+			n++
+		}
+	}
+	if e.clock.Now() < deadline {
+		e.clock.AdvanceTo(deadline)
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (splitmix64
+// core) used for workload generation. It is splittable: Split derives an
+// independent stream, so concurrent experiment legs can share a master seed
+// without correlating.
+//
+// We do not use math/rand so that the stream is pinned across Go releases:
+// reproduction runs must produce identical workloads forever.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant so the stream is never degenerate.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Split derives an independent generator from this one, advancing this
+// generator by one step.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() ^ 0xd1342543de82ef95) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a Pareto-distributed value with scale xm and shape alpha.
+// Heavy-tailed service times in F7 use alpha slightly above 1.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bimodal returns a with probability pa, otherwise b. The paper's
+// high-variability server workloads (§4, [46]) are conventionally modeled as
+// e.g. 99% short / 1% long requests.
+func (r *RNG) Bimodal(a, b float64, pa float64) float64 {
+	if r.Float64() < pa {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package ukernel
+
+import (
+	"testing"
+
+	"nocs/internal/asm"
+	"nocs/internal/hwthread"
+	"nocs/internal/kernel"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+)
+
+func TestMailboxServiceEndToEnd(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	svc, err := NewMailboxService(k, "fs", 0xB0000, 4, FSWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+main:
+	movi r2, 7     ; op
+	movi r3, 35    ; arg
+` + ClientCallSource("fs") + `
+	mov r9, r1
+	halt
+`
+	prog := asm.MustAssemble("client", src)
+	m.Core(0).BindProgram(0, prog, "main")
+	svc.SetupClientRegs(m.Core(0).Threads().Context(0), 0)
+	m.Run(0) // park service
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	ctx := m.Core(0).Threads().Context(0)
+	if ctx.Regs.GPR[9] != 42 {
+		t.Fatalf("IPC result %d, want 42", ctx.Regs.GPR[9])
+	}
+	if svc.Calls() != 1 {
+		t.Fatalf("calls %d", svc.Calls())
+	}
+	// Slot released.
+	if m.Mem().Read(svc.SlotBase(0)) != StatusFree {
+		t.Fatal("slot not released")
+	}
+}
+
+func TestMailboxServiceConcurrentClients(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	svc, err := NewMailboxService(k, "fs", 0xB0000, 4, FSWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+main:
+	movi r2, 1
+	mov r3, r12    ; per-client arg preloaded in r12
+` + ClientCallSource("fs") + `
+	mov r9, r1
+	halt
+`
+	prog := asm.MustAssemble("client", src)
+	m.Run(0)
+	for i := 0; i < 3; i++ {
+		p := hwthread.PTID(i)
+		m.Core(0).BindProgram(p, prog, "main")
+		ctx := m.Core(0).Threads().Context(p)
+		svc.SetupClientRegs(ctx, i)
+		ctx.Regs.GPR[12] = int64(100 * (i + 1))
+		m.Core(0).BootStart(p)
+	}
+	m.Run(0)
+	if m.Fatal() != nil {
+		t.Fatal(m.Fatal())
+	}
+	for i := 0; i < 3; i++ {
+		got := m.Core(0).Threads().Context(hwthread.PTID(i)).Regs.GPR[9]
+		want := int64(100*(i+1)) + 1
+		if got != want {
+			t.Fatalf("client %d result %d, want %d", i, got, want)
+		}
+	}
+	if svc.Calls() != 3 {
+		t.Fatalf("calls %d", svc.Calls())
+	}
+}
+
+func TestMailboxRepeatedCallsSameSlot(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	svc, err := NewMailboxService(k, "net", 0xB0000, 1, NetWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+main:
+	movi r8, 0    ; iteration
+	movi r9, 0    ; sum
+loop:
+	movi r2, 0
+	mov r3, r8
+` + ClientCallSource("net") + `
+	add r9, r9, r1
+	addi r8, r8, 1
+	movi r7, 4
+	blt r8, r7, loop
+	halt
+`
+	prog := asm.MustAssemble("client", src)
+	m.Core(0).BindProgram(0, prog, "main")
+	svc.SetupClientRegs(m.Core(0).Threads().Context(0), 0)
+	m.Run(0)
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	// sum of 0..3 = 6
+	if got := m.Core(0).Threads().Context(0).Regs.GPR[9]; got != 6 {
+		t.Fatalf("sum %d, want 6", got)
+	}
+	if svc.Calls() != 4 {
+		t.Fatalf("calls %d", svc.Calls())
+	}
+}
+
+func TestNewMailboxServiceValidation(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	if _, err := NewMailboxService(k, "x", 0xB0000, 0, FSWork); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+}
+
+func TestMonolithicRegistration(t *testing.T) {
+	m := machine.NewDefault()
+	k := kernel.NewLegacy(m.Core(0))
+	RegisterMonolithic(k, 10, FSWork)
+	prog := asm.MustAssemble("u", `
+main:
+	movi r1, 10
+	movi r2, 7
+	movi r3, 35
+	syscall
+	mov r9, r1
+	halt
+`)
+	m.Core(0).BindProgram(0, prog, "main")
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if got := m.Core(0).Threads().Context(0).Regs.GPR[9]; got != 42 {
+		t.Fatalf("monolithic result %d", got)
+	}
+}
+
+func TestLegacyIPCCostsMoreThanMonolithic(t *testing.T) {
+	run := func(register func(*kernel.Legacy)) sim.Cycles {
+		m := machine.NewDefault()
+		k := kernel.NewLegacy(m.Core(0))
+		register(k)
+		prog := asm.MustAssemble("u", `
+main:
+	movi r1, 10
+	movi r2, 7
+	movi r3, 35
+	syscall
+	halt
+`)
+		m.Core(0).BindProgram(0, prog, "main")
+		m.Core(0).BootStart(0)
+		m.Run(0)
+		return m.Now()
+	}
+	mono := run(func(k *kernel.Legacy) { RegisterMonolithic(k, 10, FSWork) })
+	ipc := run(func(k *kernel.Legacy) { RegisterLegacyIPC(k, 10, LegacyIPCCosts{}, FSWork) })
+	// IPC adds 2*400 scheduler + 2*1200 context switches = 3200.
+	if ipc-mono != 3200 {
+		t.Fatalf("IPC overhead %v, want 3200", ipc-mono)
+	}
+}
+
+func TestDirectIPCFasterThanLegacyIPC(t *testing.T) {
+	// The F6 claim: direct hardware-thread IPC beats scheduler-mediated IPC.
+	legacy := func() sim.Cycles {
+		m := machine.NewDefault()
+		k := kernel.NewLegacy(m.Core(0))
+		RegisterLegacyIPC(k, 10, LegacyIPCCosts{}, FSWork)
+		prog := asm.MustAssemble("u", "main:\n\tmovi r1, 10\n\tmovi r2, 7\n\tmovi r3, 35\n\tsyscall\n\thalt")
+		m.Core(0).BindProgram(0, prog, "main")
+		m.Core(0).BootStart(0)
+		m.Run(0)
+		return m.Now()
+	}()
+	direct := func() sim.Cycles {
+		m := machine.NewDefault()
+		k := kernel.NewNocs(m.Core(0))
+		svc, _ := NewMailboxService(k, "fs", 0xB0000, 1, FSWork)
+		src := "main:\n\tmovi r2, 7\n\tmovi r3, 35\n" + ClientCallSource("fs") + "\thalt"
+		prog := asm.MustAssemble("u", src)
+		m.Core(0).BindProgram(0, prog, "main")
+		svc.SetupClientRegs(m.Core(0).Threads().Context(0), 0)
+		m.Run(0)
+		start := m.Now()
+		m.Core(0).BootStart(0)
+		m.Run(0)
+		return m.Now() - start
+	}()
+	if direct >= legacy {
+		t.Fatalf("direct IPC %v not faster than legacy IPC %v", direct, legacy)
+	}
+}
+
+func TestCannedServices(t *testing.T) {
+	if r, c := FSWork(7, 35); r != 42 || c != 800 {
+		t.Fatal("FSWork")
+	}
+	if r, c := NetWork(0, 1500); r != 1500 || c != 600 {
+		t.Fatal("NetWork")
+	}
+}

@@ -1,0 +1,193 @@
+// Package workload generates the synthetic workloads driving the
+// experiments: open-loop arrival processes and service-time distributions.
+//
+// The tail-latency experiment (F7) relies on the paper's §4 claim that
+// "the combination of PS scheduling with thread-per-request will actually
+// provide superior performance for server workloads with high execution-time
+// variability [46, 80]". High-variability service is conventionally modeled
+// with bimodal (99% short / 1% long) or heavy-tailed (Pareto) distributions;
+// both are provided alongside the low-variability controls (deterministic,
+// exponential).
+package workload
+
+import (
+	"fmt"
+
+	"nocs/internal/sim"
+)
+
+// Arrivals produces interarrival gaps for an open-loop workload.
+type Arrivals interface {
+	// Next returns the gap to the next arrival, ≥ 1 cycle.
+	Next() sim.Cycles
+}
+
+// PoissonArrivals models a Poisson process with the given mean interarrival
+// time in cycles.
+type PoissonArrivals struct {
+	Mean float64
+	rng  *sim.RNG
+}
+
+// NewPoissonArrivals creates a Poisson arrival process.
+func NewPoissonArrivals(meanCycles float64, rng *sim.RNG) *PoissonArrivals {
+	if meanCycles <= 0 {
+		panic(fmt.Sprintf("workload: non-positive mean interarrival %v", meanCycles))
+	}
+	return &PoissonArrivals{Mean: meanCycles, rng: rng}
+}
+
+// Next draws an exponential interarrival gap.
+func (p *PoissonArrivals) Next() sim.Cycles {
+	g := sim.Cycles(p.rng.Exp(p.Mean))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// UniformArrivals produces a deterministic, evenly spaced arrival train —
+// the control case with zero arrival variability.
+type UniformArrivals struct {
+	Gap sim.Cycles
+}
+
+// Next returns the fixed gap.
+func (u *UniformArrivals) Next() sim.Cycles {
+	if u.Gap < 1 {
+		return 1
+	}
+	return u.Gap
+}
+
+// Service draws per-request service demands in cycles.
+type Service interface {
+	// Sample returns one service demand, ≥ 1 cycle.
+	Sample() sim.Cycles
+	// Mean returns the distribution mean in cycles.
+	Mean() float64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Deterministic service: every request costs exactly C cycles.
+type Deterministic struct{ C sim.Cycles }
+
+// Sample returns the constant demand.
+func (d Deterministic) Sample() sim.Cycles {
+	if d.C < 1 {
+		return 1
+	}
+	return d.C
+}
+
+// Mean returns the constant demand.
+func (d Deterministic) Mean() float64 { return float64(d.Sample()) }
+
+// Name identifies the distribution.
+func (d Deterministic) Name() string { return "deterministic" }
+
+// Exponential service with the given mean.
+type Exponential struct {
+	M   float64
+	RNG *sim.RNG
+}
+
+// Sample draws an exponential demand.
+func (e Exponential) Sample() sim.Cycles {
+	v := sim.Cycles(e.RNG.Exp(e.M))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean returns the configured mean.
+func (e Exponential) Mean() float64 { return e.M }
+
+// Name identifies the distribution.
+func (e Exponential) Name() string { return "exponential" }
+
+// Bimodal service: Short with probability PShort, otherwise Long. The
+// classic high-variability server profile (e.g. 99% × 1 µs, 1% × 100 µs).
+type Bimodal struct {
+	Short  sim.Cycles
+	Long   sim.Cycles
+	PShort float64
+	RNG    *sim.RNG
+}
+
+// Sample draws from the mixture.
+func (b Bimodal) Sample() sim.Cycles {
+	v := sim.Cycles(b.RNG.Bimodal(float64(b.Short), float64(b.Long), b.PShort))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean returns the mixture mean.
+func (b Bimodal) Mean() float64 {
+	return b.PShort*float64(b.Short) + (1-b.PShort)*float64(b.Long)
+}
+
+// Name identifies the distribution.
+func (b Bimodal) Name() string { return "bimodal" }
+
+// Pareto service: heavy-tailed with scale Xm and shape Alpha (> 1 for a
+// finite mean).
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+	RNG   *sim.RNG
+}
+
+// Sample draws a Pareto demand.
+func (p Pareto) Sample() sim.Cycles {
+	v := sim.Cycles(p.RNG.Pareto(p.Xm, p.Alpha))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean returns alpha*xm/(alpha-1) (infinite-mean shapes report the scale).
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return p.Xm
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Name identifies the distribution.
+func (p Pareto) Name() string { return "pareto" }
+
+// Request is one generated request.
+type Request struct {
+	ID      int
+	Arrival sim.Cycles
+	Demand  sim.Cycles
+}
+
+// Generate produces n requests from the arrival process and service
+// distribution, with arrival times starting at base.
+func Generate(n int, base sim.Cycles, arr Arrivals, svc Service) []Request {
+	reqs := make([]Request, n)
+	at := base
+	for i := range reqs {
+		at += arr.Next()
+		reqs[i] = Request{ID: i, Arrival: at, Demand: svc.Sample()}
+	}
+	return reqs
+}
+
+// MeanForLoad returns the mean interarrival time that produces the given
+// offered load (utilization) on `servers` servers for a service mean.
+// load must be in (0, 1]; e.g. load 0.8 on 1 server with mean service 3000
+// gives interarrival 3750.
+func MeanForLoad(load float64, serviceMean float64, servers int) float64 {
+	if load <= 0 || load > 1 || servers < 1 || serviceMean <= 0 {
+		panic(fmt.Sprintf("workload: bad load parameters %v/%v/%d", load, serviceMean, servers))
+	}
+	return serviceMean / (load * float64(servers))
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nocs/internal/sim"
+)
+
+func TestPoissonArrivalsMean(t *testing.T) {
+	p := NewPoissonArrivals(1000, sim.NewRNG(42))
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 1 {
+			t.Fatal("gap below 1")
+		}
+		sum += float64(g)
+	}
+	mean := sum / n
+	if math.Abs(mean-1000) > 25 {
+		t.Fatalf("mean gap %v, want ~1000", mean)
+	}
+}
+
+func TestPoissonArrivalsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive mean accepted")
+		}
+	}()
+	NewPoissonArrivals(0, sim.NewRNG(1))
+}
+
+func TestUniformArrivals(t *testing.T) {
+	u := &UniformArrivals{Gap: 500}
+	if u.Next() != 500 || u.Next() != 500 {
+		t.Fatal("uniform gaps")
+	}
+	z := &UniformArrivals{Gap: 0}
+	if z.Next() != 1 {
+		t.Fatal("zero gap clamp")
+	}
+}
+
+func TestDeterministicService(t *testing.T) {
+	d := Deterministic{C: 3000}
+	if d.Sample() != 3000 || d.Mean() != 3000 || d.Name() != "deterministic" {
+		t.Fatal("deterministic")
+	}
+	if (Deterministic{C: 0}).Sample() != 1 {
+		t.Fatal("clamp")
+	}
+}
+
+func TestExponentialService(t *testing.T) {
+	e := Exponential{M: 3000, RNG: sim.NewRNG(7)}
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(e.Sample())
+	}
+	if mean := sum / n; math.Abs(mean-3000) > 75 {
+		t.Fatalf("mean %v", mean)
+	}
+	if e.Mean() != 3000 || e.Name() != "exponential" {
+		t.Fatal("metadata")
+	}
+}
+
+func TestBimodalService(t *testing.T) {
+	b := Bimodal{Short: 3000, Long: 300000, PShort: 0.99, RNG: sim.NewRNG(5)}
+	short, long := 0, 0
+	for i := 0; i < 100000; i++ {
+		switch b.Sample() {
+		case 3000:
+			short++
+		case 300000:
+			long++
+		default:
+			t.Fatal("unexpected value")
+		}
+	}
+	frac := float64(short) / float64(short+long)
+	if math.Abs(frac-0.99) > 0.005 {
+		t.Fatalf("short fraction %v", frac)
+	}
+	wantMean := 0.99*3000 + 0.01*300000
+	if math.Abs(b.Mean()-wantMean) > 1e-6 {
+		t.Fatalf("mean %v, want %v", b.Mean(), wantMean)
+	}
+	if b.Name() != "bimodal" {
+		t.Fatal("name")
+	}
+}
+
+func TestParetoService(t *testing.T) {
+	p := Pareto{Xm: 1000, Alpha: 2, RNG: sim.NewRNG(3)}
+	for i := 0; i < 10000; i++ {
+		if p.Sample() < 1000 {
+			t.Fatal("below scale")
+		}
+	}
+	if p.Mean() != 2000 {
+		t.Fatalf("mean %v", p.Mean())
+	}
+	inf := Pareto{Xm: 1000, Alpha: 0.9}
+	if inf.Mean() != 1000 {
+		t.Fatal("infinite-mean fallback")
+	}
+	if p.Name() != "pareto" {
+		t.Fatal("name")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	reqs := Generate(100, 500, &UniformArrivals{Gap: 10}, Deterministic{C: 7})
+	if len(reqs) != 100 {
+		t.Fatal("count")
+	}
+	for i, r := range reqs {
+		if r.ID != i || r.Demand != 7 {
+			t.Fatalf("req %d: %+v", i, r)
+		}
+		if r.Arrival != sim.Cycles(500+10*(i+1)) {
+			t.Fatalf("arrival %d: %v", i, r.Arrival)
+		}
+	}
+}
+
+func TestGenerateMonotoneArrivalsProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := sim.NewRNG(seed)
+		reqs := Generate(int(n), 0, NewPoissonArrivals(100, rng),
+			Exponential{M: 50, RNG: rng.Split()})
+		last := sim.Cycles(0)
+		for _, r := range reqs {
+			if r.Arrival <= last || r.Demand < 1 {
+				return false
+			}
+			last = r.Arrival
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanForLoad(t *testing.T) {
+	if got := MeanForLoad(0.8, 3000, 1); got != 3750 {
+		t.Fatalf("MeanForLoad = %v", got)
+	}
+	if got := MeanForLoad(0.5, 3000, 4); got != 1500 {
+		t.Fatalf("MeanForLoad multi-server = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad load accepted")
+		}
+	}()
+	MeanForLoad(1.5, 3000, 1)
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	a := Generate(50, 0, NewPoissonArrivals(100, sim.NewRNG(9)), Exponential{M: 30, RNG: sim.NewRNG(10)})
+	b := Generate(50, 0, NewPoissonArrivals(100, sim.NewRNG(9)), Exponential{M: 30, RNG: sim.NewRNG(10)})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package nocs_test
+
+import (
+	"testing"
+
+	"nocs/internal/asm"
+	"nocs/internal/machine"
+)
+
+// benchmarkInstructionRate runs a counted ALU loop on one hardware thread
+// and reports simulated instructions per host operation.
+func benchmarkInstructionRate(b *testing.B) {
+	prog := asm.MustAssemble("rate", `
+main:
+	movi r1, 0
+	movi r2, 100000
+loop:
+	addi r1, r1, 1
+	blt r1, r2, loop
+	halt
+`)
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		m := machine.NewDefault()
+		if err := m.Core(0).BindProgram(0, prog, "main"); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Core(0).BootStart(0); err != nil {
+			b.Fatal(err)
+		}
+		m.Run(0)
+		retired = m.Core(0).Retired()
+	}
+	b.ReportMetric(float64(retired), "sim-instrs/op")
+}
