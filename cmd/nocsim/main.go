@@ -9,12 +9,16 @@
 //	nocsim -all               # the full suite (EXPERIMENTS.md input)
 //	nocsim -all -quick        # reduced sample counts
 //	nocsim -seed 7 -exp F7    # alternate workload seed
+//	nocsim -all -parallel 8   # concurrent experiments, identical output
+//	nocsim -all -cpuprofile cpu.pb.gz   # profile the simulator itself
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nocs/internal/bench"
@@ -22,12 +26,15 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		exp    = flag.String("exp", "", "comma-separated experiment IDs (e.g. F1,T2)")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "reduced sample counts")
-		seed   = flag.Uint64("seed", bench.DefaultConfig().Seed, "workload RNG seed")
-		format = flag.String("format", "table", "output format: table or csv")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "", "comma-separated experiment IDs (e.g. F1,T2)")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "reduced sample counts")
+		seed       = flag.Uint64("seed", bench.DefaultConfig().Seed, "workload RNG seed")
+		format     = flag.String("format", "table", "output format: table or csv")
+		parallel   = flag.Int("parallel", 1, "run up to N experiments (and sweep points within them) concurrently; every run uses isolated engines and results merge in registry order, so output is identical at any setting")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after all runs) to this file")
 	)
 	flag.Parse()
 
@@ -52,24 +59,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := bench.RunConfig{Seed: *seed, Quick: *quick}
-	failed := 0
-	for _, id := range ids {
-		res, err := bench.Run(id, cfg)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := bench.RunConfig{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	failed := 0
+	for _, o := range bench.RunAll(ids, cfg, *parallel) {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", o.ID, o.Err)
 			failed++
 			continue
 		}
 		switch *format {
 		case "csv":
-			for i, t := range res.Tables {
-				fmt.Printf("# %s table %d: %s\n%s\n", res.ID, i+1, t.Title, t.CSV())
+			for i, t := range o.Res.Tables {
+				fmt.Printf("# %s table %d: %s\n%s\n", o.Res.ID, i+1, t.Title, t.CSV())
 			}
 		default:
-			fmt.Println(res)
+			fmt.Println(o.Res)
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if failed > 0 {
 		os.Exit(1)
 	}

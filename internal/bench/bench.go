@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"nocs/internal/metrics"
 )
@@ -19,6 +20,12 @@ type RunConfig struct {
 	Seed uint64
 	// Quick reduces sample counts for fast CI / testing.B iterations.
 	Quick bool
+	// Parallel is the maximum number of independent sweep points an
+	// experiment may execute concurrently. Every sweep point already builds
+	// its own engine/machine/RNG from the master seed, so points share no
+	// state; results are merged in point order, which keeps the rendered
+	// tables byte-identical at any setting. 0 or 1 means serial.
+	Parallel int
 }
 
 // DefaultConfig is the reproduction configuration used by the CLI.
@@ -115,4 +122,72 @@ func MustRun(id string, cfg RunConfig) *Result {
 		panic(err)
 	}
 	return r
+}
+
+// Outcome pairs one experiment's result with its error.
+type Outcome struct {
+	ID  string
+	Res *Result
+	Err error
+}
+
+// RunAll executes the given experiments with up to parallel running at once.
+// Every experiment builds its own engine and machines, so concurrent runs
+// share no simulation state; outcomes are returned in input order, which
+// makes the rendered output independent of host scheduling.
+func RunAll(ids []string, cfg RunConfig, parallel int) []Outcome {
+	if parallel < 1 {
+		parallel = 1
+	}
+	out := make([]Outcome, len(ids))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := Run(id, cfg)
+			out[i] = Outcome{ID: id, Res: res, Err: err}
+		}(i, id)
+	}
+	wg.Wait()
+	return out
+}
+
+// ForEachPoint runs fn(i) for every sweep point i in [0, n), executing up to
+// cfg.Parallel points concurrently. fn must be self-contained per point
+// (own engine/machine/RNG seeded from the master seed) and record its output
+// into an index-addressed slot, so the caller's merge order — and therefore
+// the printed tables — is identical whether points run serially or not.
+// The error from the lowest-indexed failing point is returned.
+func ForEachPoint(cfg RunConfig, n int, fn func(i int) error) error {
+	if cfg.Parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

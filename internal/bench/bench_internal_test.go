@@ -406,3 +406,39 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// The parallel sweep runner must be invisible in the output: every sweep
+// point is seeded independently and merged in index order, so Parallel > 1
+// renders byte-identical tables (ISSUE 1 determinism requirement).
+func TestParallelPointsMatchSerial(t *testing.T) {
+	for _, id := range []string{"F2", "F7", "A1"} {
+		serial := MustRun(id, quickCfg)
+		par := quickCfg
+		par.Parallel = 8
+		parallel := MustRun(id, par)
+		if serial.String() != parallel.String() {
+			t.Fatalf("%s: parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// RunAll must return outcomes in input order regardless of scheduling.
+func TestRunAllPreservesOrder(t *testing.T) {
+	ids := []string{"T1", "F7", "T2"}
+	out := RunAll(ids, quickCfg, 4)
+	if len(out) != len(ids) {
+		t.Fatalf("got %d outcomes", len(out))
+	}
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", ids[i], o.Err)
+		}
+		if o.ID != ids[i] {
+			t.Fatalf("outcome %d is %s, want %s", i, o.ID, ids[i])
+		}
+	}
+	if _, err := Run("NOPE", quickCfg); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}

@@ -79,103 +79,86 @@ func f2Arrivals(m *machine.Machine, nic *device.NIC, n int, meanGap float64, see
 	return times, last
 }
 
-func runF2(cfg RunConfig) (*Result, error) {
-	n := 400
-	if cfg.Quick {
-		n = 60
-	}
-	loads := []float64{0.2, 0.5, 0.8}
-	appPtids := []hwthread.PTID{1, 2}
-
-	type key struct {
-		mech string
-		load float64
-	}
-	results := make(map[key]*f2Result)
-
-	for _, load := range loads {
-		meanGap := float64(f2PerPacket) / load
-		horizon := sim.Cycles(1000 + float64(n+20)*meanGap + 2e5)
-
-		// --- mwait service thread ---
-		{
-			m := machine.NewDefault()
-			k := kernel.NewNocs(m.Core(0))
-			nic := f1NIC(m, device.Signal{})
-			r := &f2Result{latency: metrics.NewHistogram()}
-			var times []sim.Cycles
-			if _, err := k.ServeDevice("rx", nic.TailAddr(), 0x300008, f2PerPacket,
-				func(seq int64, at sim.Cycles) {
-					if int(seq) < len(times) && times[seq] > 0 {
-						r.latency.RecordCycles(at - times[seq])
-						r.served++
-					}
-				}); err != nil {
-				return nil, err
+// runF2Mwait measures the mwait-service-thread configuration at one load.
+func runF2Mwait(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error) {
+	m := machine.NewDefault()
+	k := kernel.NewNocs(m.Core(0))
+	nic := f1NIC(m, device.Signal{})
+	r := &f2Result{latency: metrics.NewHistogram()}
+	var times []sim.Cycles
+	if _, err := k.ServeDevice("rx", nic.TailAddr(), 0x300008, f2PerPacket,
+		func(seq int64, at sim.Cycles) {
+			if int(seq) < len(times) && times[seq] > 0 {
+				r.latency.RecordCycles(at - times[seq])
+				r.served++
 			}
-			chunks := f2AppThreads(m, appPtids)
-			times, _ = f2Arrivals(m, nic, n, meanGap, cfg.Seed)
-			m.RunUntil(horizon)
-			if m.Fatal() != nil {
-				return nil, m.Fatal()
+		}); err != nil {
+		return nil, err
+	}
+	chunks := f2AppThreads(m, appPtids)
+	times, _ = f2Arrivals(m, nic, n, meanGap, cfg.Seed)
+	m.RunUntil(horizon)
+	if m.Fatal() != nil {
+		return nil, m.Fatal()
+	}
+	r.appWork = *chunks
+	return r, nil
+}
+
+// runF2Interrupt measures the interrupt-driven configuration at one load.
+func runF2Interrupt(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error) {
+	m := machine.NewDefault()
+	nic := f1NIC(m, device.Signal{IRQ: m.IRQ(), Vector: 33})
+	r := &f2Result{latency: metrics.NewHistogram()}
+	var times []sim.Cycles
+	head := int64(0)
+	entry := m.IRQ().Costs().Entry
+	// The victim is app thread 1: interrupts steal from the app.
+	m.IRQ().Register(33, m.Core(0), appPtids[0], func(v irq.Vector, at sim.Cycles) sim.Cycles {
+		tail := m.Mem().Read(nic.TailAddr())
+		var cost sim.Cycles
+		for seq := head; seq < tail; seq++ {
+			cost += f2PerPacket
+			if int(seq) < len(times) && times[seq] > 0 {
+				r.latency.RecordCycles(at + entry + cost - times[seq])
+				r.served++
 			}
-			r.appWork = *chunks
-			results[key{"mwait", load}] = r
 		}
+		head = tail
+		m.Mem().Write(0x300008, tail, 0)
+		return cost
+	})
+	chunks := f2AppThreads(m, appPtids)
+	times, _ = f2Arrivals(m, nic, n, meanGap, cfg.Seed)
+	m.RunUntil(horizon)
+	r.appWork = *chunks
+	return r, nil
+}
 
-		// --- interrupt-driven ---
-		{
-			m := machine.NewDefault()
-			nic := f1NIC(m, device.Signal{IRQ: m.IRQ(), Vector: 33})
-			r := &f2Result{latency: metrics.NewHistogram()}
-			var times []sim.Cycles
-			head := int64(0)
-			entry := m.IRQ().Costs().Entry
-			// The victim is app thread 1: interrupts steal from the app.
-			m.IRQ().Register(33, m.Core(0), appPtids[0], func(v irq.Vector, at sim.Cycles) sim.Cycles {
-				tail := m.Mem().Read(nic.TailAddr())
-				var cost sim.Cycles
-				for seq := head; seq < tail; seq++ {
-					cost += f2PerPacket
-					if int(seq) < len(times) && times[seq] > 0 {
-						r.latency.RecordCycles(at + entry + cost - times[seq])
-						r.served++
-					}
-				}
-				head = tail
-				m.Mem().Write(0x300008, tail, 0)
-				return cost
-			})
-			chunks := f2AppThreads(m, appPtids)
-			times, _ = f2Arrivals(m, nic, n, meanGap, cfg.Seed)
-			m.RunUntil(horizon)
-			r.appWork = *chunks
-			results[key{"interrupt", load}] = r
+// runF2Polling measures the dedicated-polling-thread configuration at one
+// load.
+func runF2Polling(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error) {
+	m := machine.NewDefault()
+	nic := f1NIC(m, device.Signal{})
+	r := &f2Result{latency: metrics.NewHistogram()}
+	var times []sim.Cycles
+	lastSeen := int64(0)
+	m.Core(0).RegisterNative("f2.poll", func(c *core.Core, t *hwthread.Context) sim.Cycles {
+		tail := c.ReadWord(nic.TailAddr())
+		var cost sim.Cycles
+		for seq := lastSeen; seq < tail; seq++ {
+			cost += f2PerPacket
+			if int(seq) < len(times) && times[seq] > 0 {
+				r.latency.RecordCycles(c.Now() + cost - times[seq])
+				r.served++
+			}
 		}
-
-		// --- dedicated polling thread ---
-		{
-			m := machine.NewDefault()
-			nic := f1NIC(m, device.Signal{})
-			r := &f2Result{latency: metrics.NewHistogram()}
-			var times []sim.Cycles
-			lastSeen := int64(0)
-			m.Core(0).RegisterNative("f2.poll", func(c *core.Core, t *hwthread.Context) sim.Cycles {
-				tail := c.ReadWord(nic.TailAddr())
-				var cost sim.Cycles
-				for seq := lastSeen; seq < tail; seq++ {
-					cost += f2PerPacket
-					if int(seq) < len(times) && times[seq] > 0 {
-						r.latency.RecordCycles(c.Now() + cost - times[seq])
-						r.served++
-					}
-				}
-				lastSeen = tail
-				c.WriteWord(0x300008, tail) // publish head for NIC flow control
-				t.Regs.GPR[3] = tail
-				return cost
-			})
-			poll := asm.MustAssemble("poll", `
+		lastSeen = tail
+		c.WriteWord(0x300008, tail) // publish head for NIC flow control
+		t.Regs.GPR[3] = tail
+		return cost
+	})
+	poll := asm.MustAssemble("poll", `
 main:
 poll:
 	ld r2, [r1+0]
@@ -183,24 +166,59 @@ poll:
 	native f2.poll
 	jmp poll
 `)
-			m.Core(0).BindProgram(0, poll, "main")
-			m.Core(0).Threads().Context(0).Regs.GPR[1] = nic.TailAddr()
-			m.Core(0).BootStart(0)
-			chunks := f2AppThreads(m, appPtids)
-			times, _ = f2Arrivals(m, nic, n, meanGap, cfg.Seed)
-			m.RunUntil(horizon)
-			r.appWork = *chunks
-			results[key{"polling", load}] = r
+	m.Core(0).BindProgram(0, poll, "main")
+	m.Core(0).Threads().Context(0).Regs.GPR[1] = nic.TailAddr()
+	m.Core(0).BootStart(0)
+	chunks := f2AppThreads(m, appPtids)
+	times, _ = f2Arrivals(m, nic, n, meanGap, cfg.Seed)
+	m.RunUntil(horizon)
+	r.appWork = *chunks
+	return r, nil
+}
+
+func runF2(cfg RunConfig) (*Result, error) {
+	n := 400
+	if cfg.Quick {
+		n = 60
+	}
+	loads := []float64{0.2, 0.5, 0.8}
+	appPtids := []hwthread.PTID{1, 2}
+	mechs := []struct {
+		name string
+		run  func(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error)
+	}{
+		{"interrupt", runF2Interrupt},
+		{"polling", runF2Polling},
+		{"mwait", runF2Mwait},
+	}
+
+	// Each (load, mechanism) cell boots a private machine, so the grid runs
+	// point-parallel under ForEachPoint; cells land in index-addressed slots
+	// and the table below reads them in fixed order.
+	results := make([]*f2Result, len(loads)*len(mechs))
+	err := ForEachPoint(cfg, len(results), func(pt int) error {
+		load := loads[pt/len(mechs)]
+		mech := mechs[pt%len(mechs)]
+		meanGap := float64(f2PerPacket) / load
+		horizon := sim.Cycles(1000 + float64(n+20)*meanGap + 2e5)
+		r, err := mech.run(cfg, n, meanGap, horizon, appPtids)
+		if err != nil {
+			return err
 		}
+		results[pt] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	t := metrics.NewTable("packet latency and co-located app throughput (2 app threads, 2 SMT slots)",
 		"load", "mechanism", "served", "p50 lat", "p99 lat", "app kcycles of work")
-	for _, load := range loads {
-		for _, mech := range []string{"interrupt", "polling", "mwait"} {
-			r := results[key{mech, load}]
+	for li, load := range loads {
+		for mi, mech := range mechs {
+			r := results[li*len(mechs)+mi]
 			p50, p99, _, _ := r.latency.Summary()
-			t.Row(load, mech, r.served, p50, p99, float64(r.appWork*uint64(f2AppChunk))/1000)
+			t.Row(load, mech.name, r.served, p50, p99, float64(r.appWork*uint64(f2AppChunk))/1000)
 		}
 	}
 	res := &Result{Tables: []*metrics.Table{t}}

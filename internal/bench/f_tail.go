@@ -68,38 +68,63 @@ func runF7(cfg RunConfig) (*Result, error) {
 		n = 4000
 	}
 	loads := []float64{0.3, 0.5, 0.7, 0.8, 0.9}
-	var tables []*metrics.Table
+	dists := []string{"exponential", "bimodal"}
+	disciplines := []struct {
+		name string
+		mk   func(eng *sim.Engine) kernel.QueueServer
+	}{
+		{"legacy-fcfs", func(eng *sim.Engine) kernel.QueueServer {
+			return kernel.NewFCFS(eng, f7Servers, f7LegacyOverhead, nil)
+		}},
+		{"legacy-timeslice", func(eng *sim.Engine) kernel.QueueServer {
+			return kernel.NewTimeslice(eng, f7Servers, f7Quantum, f7Switch, nil)
+		}},
+		{"nocs-ps", func(eng *sim.Engine) kernel.QueueServer {
+			return kernel.NewPS(eng, f7Servers, f7NocsOverhead, nil)
+		}},
+	}
 
-	for _, dist := range []string{"exponential", "bimodal"} {
+	// Each (distribution, load) pair is an isolated sweep point: its own
+	// seed, request trace, and one engine per discipline. Points execute via
+	// ForEachPoint (possibly concurrently) and land in index-addressed
+	// slots, so the table rows come out in the same order regardless.
+	type f7Row struct {
+		p50, p99, p999 int64
+		mean           float64
+	}
+	rows := make([][]f7Row, len(dists)*len(loads))
+	err := ForEachPoint(cfg, len(rows), func(pt int) error {
+		dist := dists[pt/len(loads)]
+		load := loads[pt%len(loads)]
+		seed := cfg.Seed + uint64(load*1000)
+		gen := func(seed uint64) []workload.Request {
+			rng := sim.NewRNG(seed)
+			arr := workload.NewPoissonArrivals(
+				workload.MeanForLoad(load, f7MeanService, f7Servers), rng)
+			return workload.Generate(n, 0, arr, f7Dist(dist, rng.Split()))
+		}
+		out := make([]f7Row, len(disciplines))
+		for di, d := range disciplines {
+			h := runDiscipline(d.mk, gen(seed))
+			p50, p99, p999, mean := h.Summary()
+			out[di] = f7Row{p50, p99, p999, mean}
+		}
+		rows[pt] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*metrics.Table
+	for dj, dist := range dists {
 		t := metrics.NewTable(
 			fmt.Sprintf("sojourn time, %s service (mean %.0f cycles), %d servers", dist, f7MeanService, f7Servers),
 			"load", "discipline", "p50", "p99", "p99.9", "mean")
-		for _, load := range loads {
-			gen := func(seed uint64) []workload.Request {
-				rng := sim.NewRNG(seed)
-				arr := workload.NewPoissonArrivals(
-					workload.MeanForLoad(load, f7MeanService, f7Servers), rng)
-				return workload.Generate(n, 0, arr, f7Dist(dist, rng.Split()))
-			}
-			seed := cfg.Seed + uint64(load*1000)
-			disciplines := []struct {
-				name string
-				mk   func(eng *sim.Engine) kernel.QueueServer
-			}{
-				{"legacy-fcfs", func(eng *sim.Engine) kernel.QueueServer {
-					return kernel.NewFCFS(eng, f7Servers, f7LegacyOverhead, nil)
-				}},
-				{"legacy-timeslice", func(eng *sim.Engine) kernel.QueueServer {
-					return kernel.NewTimeslice(eng, f7Servers, f7Quantum, f7Switch, nil)
-				}},
-				{"nocs-ps", func(eng *sim.Engine) kernel.QueueServer {
-					return kernel.NewPS(eng, f7Servers, f7NocsOverhead, nil)
-				}},
-			}
-			for _, d := range disciplines {
-				h := runDiscipline(d.mk, gen(seed))
-				p50, p99, p999, mean := h.Summary()
-				t.Row(load, d.name, p50, p99, p999, mean)
+		for lj, load := range loads {
+			for di, d := range disciplines {
+				r := rows[dj*len(loads)+lj][di]
+				t.Row(load, d.name, r.p50, r.p99, r.p999, r.mean)
 			}
 		}
 		tables = append(tables, t)
@@ -126,26 +151,45 @@ func runA1(cfg RunConfig) (*Result, error) {
 		return workload.Generate(n, 0, arr, f7Dist("bimodal", rng.Split()))
 	}
 
+	// Both sweeps run point-parallel: each point regenerates its request
+	// trace from the master seed and runs on a private engine.
+	slotsList := []int{1, 2, 4, 8}
+	slotsH := make([]*metrics.Histogram, len(slotsList))
+	if err := ForEachPoint(cfg, len(slotsList), func(i int) error {
+		slots := slotsList[i]
+		slotsH[i] = runDiscipline(func(eng *sim.Engine) kernel.QueueServer {
+			return kernel.NewPS(eng, slots, f7NocsOverhead, nil)
+		}, gen(slots, cfg.Seed))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	slotsT := metrics.NewTable(
 		fmt.Sprintf("PS tail latency vs SMT slots (bimodal, load %.1f per slot)", load),
 		"slots", "p50", "p99", "p99.9")
-	for _, slots := range []int{1, 2, 4, 8} {
-		h := runDiscipline(func(eng *sim.Engine) kernel.QueueServer {
-			return kernel.NewPS(eng, slots, f7NocsOverhead, nil)
-		}, gen(slots, cfg.Seed))
+	for i, slots := range slotsList {
+		h := slotsH[i]
 		slotsT.Row(slots, h.Quantile(0.5), h.Quantile(0.99), h.Quantile(0.999))
 	}
 
-	poolT := metrics.NewTable(
-		"PS tail latency vs hardware-thread pool size (2 slots; overflow queues FCFS)",
-		"hw threads", "p50", "p99", "p99.9")
-	for _, pool := range []int{4, 8, 16, 64, 1024} {
-		pool := pool
-		h := runDiscipline(func(eng *sim.Engine) kernel.QueueServer {
+	pools := []int{4, 8, 16, 64, 1024}
+	poolH := make([]*metrics.Histogram, len(pools))
+	if err := ForEachPoint(cfg, len(pools), func(i int) error {
+		pool := pools[i]
+		poolH[i] = runDiscipline(func(eng *sim.Engine) kernel.QueueServer {
 			s := kernel.NewPS(eng, f7Servers, f7NocsOverhead, nil)
 			s.MaxActive = pool
 			return s
 		}, gen(f7Servers, cfg.Seed))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	poolT := metrics.NewTable(
+		"PS tail latency vs hardware-thread pool size (2 slots; overflow queues FCFS)",
+		"hw threads", "p50", "p99", "p99.9")
+	for i, pool := range pools {
+		h := poolH[i]
 		poolT.Row(pool, h.Quantile(0.5), h.Quantile(0.99), h.Quantile(0.999))
 	}
 

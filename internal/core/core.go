@@ -123,7 +123,8 @@ type Core struct {
 
 	natives map[string]NativeFunc
 	waiters []*waiter // one per ptid
-	execEv  []*sim.Event
+	execEv  []sim.Handle
+	execCBs []execCallback // one per ptid; scheduled via AfterCallback
 
 	// Legacy-mode hooks. When LegacySyscall is non-nil, SYSCALL performs an
 	// in-thread mode switch and runs the hook; otherwise SYSCALL writes an
@@ -162,6 +163,19 @@ func (w *waiter) MonitorWake(addr, val int64, src mem.WriteSource) {
 	w.c.wake(w.p, addr)
 }
 
+// execCallback is the allocation-free body of a ptid's single in-flight
+// "execute next instruction" event: scheduling it reuses an engine arena
+// slot instead of building a closure per instruction.
+type execCallback struct {
+	c *Core
+	t *hwthread.Context
+}
+
+func (x *execCallback) OnEvent() {
+	x.c.execEv[x.t.PTID] = sim.NoEvent
+	x.c.execOne(x.t)
+}
+
 // New builds a core attached to the machine's engine, memory, and monitor.
 func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core {
 	if cfg.Threads <= 0 {
@@ -186,9 +200,11 @@ func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core 
 		halted:  make(map[hwthread.PTID]bool),
 	}
 	c.waiters = make([]*waiter, cfg.Threads)
-	c.execEv = make([]*sim.Event, cfg.Threads)
+	c.execEv = make([]sim.Handle, cfg.Threads)
+	c.execCBs = make([]execCallback, cfg.Threads)
 	for i := range c.waiters {
 		c.waiters[i] = &waiter{c: c, p: hwthread.PTID(i)}
+		c.execCBs[i] = execCallback{c: c, t: c.threads.Context(hwthread.PTID(i))}
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		// All contexts start with the base state footprint.
@@ -312,9 +328,9 @@ func (c *Core) resume(t *hwthread.Context) {
 // suspend removes a thread from the pipeline and cancels its next issue.
 func (c *Core) suspend(t *hwthread.Context) {
 	c.pipe.Remove(int(t.PTID))
-	if ev := c.execEv[t.PTID]; ev != nil {
-		ev.Cancel()
-		c.execEv[t.PTID] = nil
+	if h := c.execEv[t.PTID]; h != sim.NoEvent {
+		c.eng.Cancel(h)
+		c.execEv[t.PTID] = sim.NoEvent
 	}
 }
 
@@ -345,13 +361,10 @@ func (c *Core) wake(p hwthread.PTID, addr int64) {
 
 // scheduleExec arms the single in-flight execute event for t.
 func (c *Core) scheduleExec(t *hwthread.Context, delay sim.Cycles) {
-	if ev := c.execEv[t.PTID]; ev != nil {
-		ev.Cancel()
+	if h := c.execEv[t.PTID]; h != sim.NoEvent {
+		c.eng.Cancel(h)
 	}
-	c.execEv[t.PTID] = c.eng.After(delay, "exec", func() {
-		c.execEv[t.PTID] = nil
-		c.execOne(t)
-	})
+	c.execEv[t.PTID] = c.eng.AfterCallback(delay, "exec", &c.execCBs[t.PTID])
 }
 
 // InjectDelay pushes a runnable thread's next instruction back by d cycles —

@@ -26,7 +26,7 @@ type Timer struct {
 
 	running bool
 	ticks   uint64
-	ev      *sim.Event
+	ev      sim.Handle
 }
 
 // NewTimer builds a timer writing through the given DMA port (timers are
@@ -54,9 +54,9 @@ func (t *Timer) Start() {
 // Stop halts the timer.
 func (t *Timer) Stop() {
 	t.running = false
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
+	if t.ev != sim.NoEvent {
+		t.eng.Cancel(t.ev)
+		t.ev = sim.NoEvent
 	}
 }
 
@@ -73,13 +73,17 @@ func (t *Timer) FireOnce() {
 }
 
 func (t *Timer) schedule() {
-	t.ev = t.eng.After(t.cfg.Period, "timer", func() {
-		if !t.running {
-			return
-		}
-		t.tick()
-		t.schedule()
-	})
+	t.ev = t.eng.AfterCallback(t.cfg.Period, "timer", t)
+}
+
+// OnEvent fires one periodic tick and re-arms the timer (sim.Callback; the
+// timer is its own event body so ticking allocates nothing per period).
+func (t *Timer) OnEvent() {
+	if !t.running {
+		return
+	}
+	t.tick()
+	t.schedule()
 }
 
 func (t *Timer) tick() {

@@ -116,7 +116,8 @@ type PSServer struct {
 	active     map[int]*psReq
 	pending    []workload.Request
 	lastUpdate sim.Cycles
-	nextEv     *sim.Event
+	nextEv     sim.Handle
+	nextTarget *psReq
 	done       uint64
 }
 
@@ -188,9 +189,9 @@ func (s *PSServer) advance() {
 
 // reschedule finds the next completion and arms a single event for it.
 func (s *PSServer) reschedule() {
-	if s.nextEv != nil {
-		s.nextEv.Cancel()
-		s.nextEv = nil
+	if s.nextEv != sim.NoEvent {
+		s.eng.Cancel(s.nextEv)
+		s.nextEv = sim.NoEvent
 	}
 	if len(s.active) == 0 {
 		return
@@ -206,27 +207,33 @@ func (s *PSServer) reschedule() {
 	}
 	r := s.rate()
 	wait := sim.Cycles(math.Ceil(math.Max(0, min.remaining) / r))
-	target := min
-	s.nextEv = s.eng.After(wait, "ps-done", func() {
-		s.nextEv = nil
-		s.advance()
-		// Complete everything at or below zero (simultaneous finishers).
-		for id, a := range s.active {
-			if a.remaining <= 1e-9 || a == target {
-				delete(s.active, id)
-				s.done++
-				if s.OnComplete != nil {
-					s.OnComplete(Completion{Req: a.r, Finish: s.eng.Now(), Latency: s.eng.Now() - a.r.Arrival})
-				}
+	s.nextTarget = min
+	s.nextEv = s.eng.AfterCallback(wait, "ps-done", s)
+}
+
+// OnEvent completes the armed next-finisher (sim.Callback: the server is its
+// own completion-event body, so the steady state allocates no closures).
+func (s *PSServer) OnEvent() {
+	target := s.nextTarget
+	s.nextEv = sim.NoEvent
+	s.nextTarget = nil
+	s.advance()
+	// Complete everything at or below zero (simultaneous finishers).
+	for id, a := range s.active {
+		if a.remaining <= 1e-9 || a == target {
+			delete(s.active, id)
+			s.done++
+			if s.OnComplete != nil {
+				s.OnComplete(Completion{Req: a.r, Finish: s.eng.Now(), Latency: s.eng.Now() - a.r.Arrival})
 			}
 		}
-		// Admit queued arrivals into freed hardware threads.
-		for len(s.pending) > 0 && (s.MaxActive <= 0 || len(s.active) < s.MaxActive) {
-			s.admit(s.pending[0])
-			s.pending = s.pending[1:]
-		}
-		s.reschedule()
-	})
+	}
+	// Admit queued arrivals into freed hardware threads.
+	for len(s.pending) > 0 && (s.MaxActive <= 0 || len(s.active) < s.MaxActive) {
+		s.admit(s.pending[0])
+		s.pending = s.pending[1:]
+	}
+	s.reschedule()
 }
 
 // TimesliceServer is the legacy preemptive alternative: K servers running a

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
 	"strings"
 
 	"nocs/internal/sim"
@@ -16,8 +15,13 @@ import (
 // Histogram records non-negative int64 samples (cycles) in logarithmic
 // buckets: values up to 64 are exact; above that, each power of two is split
 // into 16 sub-buckets, bounding relative quantile error at ~6%.
+//
+// Buckets are a flat slice indexed by bucketOf — bucket index order IS value
+// order, so quantiles are a single forward scan with no key sort, and
+// recording is an array increment (zero allocations once the slice has grown
+// to cover the sample range; the index is bounded by bucketOf(MaxInt64)).
 type Histogram struct {
-	buckets map[int]uint64
+	buckets []uint64
 	count   uint64
 	sum     int64
 	min     int64
@@ -26,7 +30,7 @@ type Histogram struct {
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[int]uint64), min: math.MaxInt64}
+	return &Histogram{min: math.MaxInt64}
 }
 
 const (
@@ -59,12 +63,33 @@ func bucketLow(b int) int64 {
 	return (1 << uint(msb)) | (int64(sub) << uint(msb-4))
 }
 
+// grow extends the bucket slice to cover index b.
+func (h *Histogram) grow(b int) {
+	if b < len(h.buckets) {
+		return
+	}
+	n := len(h.buckets) * 2
+	if n < b+1 {
+		n = b + 1
+	}
+	if n < histExactLimit {
+		n = histExactLimit
+	}
+	nb := make([]uint64, n)
+	copy(nb, h.buckets)
+	h.buckets = nb
+}
+
 // Record adds one sample.
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.buckets[bucketOf(v)]++
+	b := bucketOf(v)
+	if b >= len(h.buckets) {
+		h.grow(b)
+	}
+	h.buckets[b]++
 	h.count++
 	h.sum += v
 	if v < h.min {
@@ -117,14 +142,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if target == 0 {
 		target = 1
 	}
-	idxs := make([]int, 0, len(h.buckets))
-	for b := range h.buckets {
-		idxs = append(idxs, b)
-	}
-	sort.Ints(idxs)
 	var cum uint64
-	for _, b := range idxs {
-		cum += h.buckets[b]
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
 		if cum >= target {
 			lo := bucketLow(b)
 			if lo < h.min {
@@ -146,8 +169,13 @@ func (h *Histogram) Summary() (p50, p99, p999 int64, mean float64) {
 
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
+	if len(other.buckets) > len(h.buckets) {
+		h.grow(len(other.buckets) - 1)
+	}
 	for b, n := range other.buckets {
-		h.buckets[b] += n
+		if n != 0 {
+			h.buckets[b] += n
+		}
 	}
 	h.count += other.count
 	h.sum += other.sum

@@ -223,3 +223,37 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant:\n%q", csv, want)
 	}
 }
+
+// Record is called once per sample on the measurement hot path; once the
+// bucket slice covers the sample range it must not allocate (ISSUE 1 guard).
+func TestHistogramRecordAllocFree(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1 << 40) // warm: grow the bucket slice past the sample range
+	v := int64(0)
+	if a := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = (v*1664525 + 1013904223) % (1 << 40)
+	}); a != 0 {
+		t.Fatalf("Record allocates %.1f per op, want 0", a)
+	}
+}
+
+// The flat-slice rewrite must keep quantiles identical to the bucket
+// definition: a scan in index order is a scan in value order.
+func TestQuantileScanOrderMatchesBucketOrder(t *testing.T) {
+	h := NewHistogram()
+	vals := []int64{3, 70, 70, 1000, 5000, 5000, 5000, 123456}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 3 {
+		t.Fatalf("q0 = %d, want exact min 3", got)
+	}
+	if got := h.Quantile(1); got != 123456 {
+		t.Fatalf("q1 = %d, want exact max 123456", got)
+	}
+	// p50 of 8 samples lands in the 4th: bucketLow of 1000's bucket ≤ 1000.
+	if got := h.Quantile(0.5); got > 1000 || got < 70 {
+		t.Fatalf("q0.5 = %d, want in (70, 1000]", got)
+	}
+}

@@ -18,6 +18,12 @@
 //     share min(1, S·w/W) of full speed. The core model charges instruction
 //     latencies scaled by the inverse share, which is the standard
 //     event-driven PS approximation.
+//
+// ChargedLatency is on the simulator's per-instruction hot path, so the
+// runnable set is a dense slice (insertion order == RR order) with an
+// id→index table, and each thread's PS slowdown is cached and only
+// recomputed when the runnable set or a weight changes (epoch counter) —
+// queries are O(1) with no division in the steady state.
 package pipeline
 
 import (
@@ -31,17 +37,35 @@ type thread struct {
 	weight  int
 	credits int
 	issued  uint64
+
+	// slowdown caches the PS slowdown; valid while sdEpoch == Pipeline.epoch.
+	slowdown float64
+	sdEpoch  uint64
+	// batchStamp marks membership in the current NextBatch scan.
+	batchStamp uint64
 }
 
 // Pipeline is the hardware issue multiplexer for one core.
 type Pipeline struct {
 	slots int
 
-	threads map[int]*thread
-	order   []int // stable RR order (insertion order)
-	cursor  int   // rotating pointer into order
+	// threads is dense in stable RR (insertion) order; index maps thread id
+	// to its position. Remove shifts the tail down so order is preserved.
+	threads []thread
+	index   map[int]int
+	// cursor is the position NextBatch scans next. Invariant maintained by
+	// Remove: the thread that would have been scanned next keeps that right,
+	// regardless of which position was removed (if the next-to-scan thread
+	// itself is removed, its successor inherits the turn).
+	cursor int
 
 	totalWeight int
+	// epoch invalidates cached slowdowns; bumped on Add/Remove/weight change.
+	epoch uint64
+	// batchSeq distinguishes NextBatch scans (duplicate suppression without
+	// a per-call map); batchBuf is the reused result buffer.
+	batchSeq uint64
+	batchBuf []int
 }
 
 // New creates a pipeline with the given number of SMT issue slots
@@ -50,7 +74,7 @@ func New(slots int) *Pipeline {
 	if slots < 1 {
 		slots = 2
 	}
-	return &Pipeline{slots: slots, threads: make(map[int]*thread)}
+	return &Pipeline{slots: slots, index: make(map[int]int), epoch: 1}
 }
 
 // Slots returns the SMT slot count.
@@ -68,84 +92,102 @@ func (p *Pipeline) Add(id, weight int) {
 	if weight < 1 {
 		weight = 1
 	}
-	if t, ok := p.threads[id]; ok {
-		p.totalWeight += weight - t.weight
-		t.weight = weight
+	if i, ok := p.index[id]; ok {
+		t := &p.threads[i]
+		if t.weight != weight {
+			p.totalWeight += weight - t.weight
+			t.weight = weight
+			p.epoch++
+		}
 		return
 	}
-	t := &thread{id: id, weight: weight}
-	p.threads[id] = t
-	p.order = append(p.order, id)
+	p.index[id] = len(p.threads)
+	p.threads = append(p.threads, thread{id: id, weight: weight})
 	p.totalWeight += weight
+	p.epoch++
 }
 
-// Remove takes thread id out of the runnable set.
+// Remove takes thread id out of the runnable set. RR order of the surviving
+// threads is unchanged, and the thread that was due to be scanned next still
+// goes next (its successor, if the removed thread itself was due).
 func (p *Pipeline) Remove(id int) {
-	t, ok := p.threads[id]
+	i, ok := p.index[id]
 	if !ok {
 		return
 	}
-	p.totalWeight -= t.weight
-	delete(p.threads, id)
-	for i, v := range p.order {
-		if v == id {
-			p.order = append(p.order[:i], p.order[i+1:]...)
-			if p.cursor > i {
-				p.cursor--
-			}
-			break
-		}
+	p.totalWeight -= p.threads[i].weight
+	copy(p.threads[i:], p.threads[i+1:])
+	p.threads = p.threads[:len(p.threads)-1]
+	delete(p.index, id)
+	for j := i; j < len(p.threads); j++ {
+		p.index[p.threads[j].id] = j
 	}
-	if len(p.order) == 0 {
+	if p.cursor > i {
+		p.cursor--
+	}
+	if len(p.threads) == 0 {
 		p.cursor = 0
 	} else {
-		p.cursor %= len(p.order)
+		p.cursor %= len(p.threads)
 	}
+	p.epoch++
 }
 
 // Contains reports whether id is runnable.
 func (p *Pipeline) Contains(id int) bool {
-	_, ok := p.threads[id]
+	_, ok := p.index[id]
 	return ok
 }
 
 // Weight returns thread id's weight (0 if absent).
 func (p *Pipeline) Weight(id int) int {
-	if t, ok := p.threads[id]; ok {
-		return t.weight
+	if i, ok := p.index[id]; ok {
+		return p.threads[i].weight
 	}
 	return 0
 }
 
 // Issued returns how many issue slots thread id has consumed via NextBatch.
 func (p *Pipeline) Issued(id int) uint64 {
-	if t, ok := p.threads[id]; ok {
-		return t.issued
+	if i, ok := p.index[id]; ok {
+		return p.threads[i].issued
 	}
 	return 0
+}
+
+// slowdownOf returns t's cached PS slowdown, recomputing it if the runnable
+// set changed since the cache was filled.
+func (p *Pipeline) slowdownOf(t *thread) float64 {
+	if t.sdEpoch != p.epoch {
+		share := float64(p.slots) * float64(t.weight) / float64(p.totalWeight)
+		if share >= 1 {
+			t.slowdown = 1
+		} else {
+			t.slowdown = 1 / share
+		}
+		t.sdEpoch = p.epoch
+	}
+	return t.slowdown
 }
 
 // Slowdown returns the PS slowdown factor for thread id: ≥ 1, equal to 1
 // while the runnable set fits in the SMT slots. Returns 0 for absent ids.
 func (p *Pipeline) Slowdown(id int) float64 {
-	t, ok := p.threads[id]
+	i, ok := p.index[id]
 	if !ok {
 		return 0
 	}
-	share := float64(p.slots) * float64(t.weight) / float64(p.totalWeight)
-	if share >= 1 {
-		return 1
-	}
-	return 1 / share
+	return p.slowdownOf(&p.threads[i])
 }
 
 // ChargedLatency scales a base instruction latency by the thread's current
 // PS slowdown, rounding up. This is what the core charges per instruction.
 func (p *Pipeline) ChargedLatency(id int, base sim.Cycles) sim.Cycles {
-	sd := p.Slowdown(id)
-	if sd == 0 {
+	i, ok := p.index[id]
+	if !ok {
 		return base
 	}
+	sd := p.slowdownOf(&p.threads[i])
 	c := sim.Cycles(float64(base)*sd + 0.999999)
 	if c < base {
 		c = base
@@ -157,8 +199,10 @@ func (p *Pipeline) ChargedLatency(id int, base sim.Cycles) sim.Cycles {
 // cycle by weighted deficit round robin, and records the issue. With equal
 // weights this degenerates to pure RR; with weights, issue counts are
 // proportional to weight over any sufficiently long window.
+//
+// The returned slice is reused by the next call; callers must not retain it.
 func (p *Pipeline) NextBatch() []int {
-	n := len(p.order)
+	n := len(p.threads)
 	if n == 0 {
 		return nil
 	}
@@ -166,32 +210,32 @@ func (p *Pipeline) NextBatch() []int {
 	if want > n {
 		want = n
 	}
-	batch := make([]int, 0, want)
-	inBatch := make(map[int]bool, want)
+	p.batchSeq++
+	batch := p.batchBuf[:0]
 	scanned := 0
 	for len(batch) < want {
 		if scanned >= n {
 			// A full rotation could not fill the batch: refill credits by
 			// weight (work-conserving — slots never idle while any thread
 			// is runnable) and rescan.
-			for _, t := range p.threads {
-				t.credits += t.weight
+			for i := range p.threads {
+				p.threads[i].credits += p.threads[i].weight
 			}
 			scanned = 0
 			continue
 		}
-		id := p.order[p.cursor]
+		t := &p.threads[p.cursor]
 		p.cursor = (p.cursor + 1) % n
 		scanned++
-		t := p.threads[id]
-		if inBatch[id] || t.credits <= 0 {
+		if t.batchStamp == p.batchSeq || t.credits <= 0 {
 			continue
 		}
 		t.credits--
 		t.issued++
-		inBatch[id] = true
-		batch = append(batch, id)
+		t.batchStamp = p.batchSeq
+		batch = append(batch, t.id)
 	}
+	p.batchBuf = batch
 	return batch
 }
 

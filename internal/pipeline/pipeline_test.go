@@ -205,6 +205,142 @@ func TestRemoveDuringRotationKeepsCursorValid(t *testing.T) {
 	}
 }
 
+// Regression for the DESIGN.md §6 fairness bound under membership churn:
+// interleaving Add/Remove at arbitrary positions must not skew RR order.
+// After any interleaving, a window over a *fixed* runnable set must issue
+// every thread within one rotation of slack, and the thread due to be
+// scanned next must keep its turn across a removal elsewhere in the order.
+func TestFairnessAcrossAddRemoveInterleaving(t *testing.T) {
+	// Removal position must not perturb who is scanned next: build two
+	// identical pipelines mid-rotation, remove a different (non-due) thread
+	// from each, and require the same next batch.
+	mk := func() *Pipeline {
+		p := New(1)
+		for i := 0; i < 5; i++ {
+			p.Add(i, 1)
+		}
+		p.NextBatch() // 0
+		p.NextBatch() // 1; cursor now due at 2
+		return p
+	}
+	a, b := mk(), mk()
+	a.Remove(0) // before the cursor
+	b.Remove(4) // after the cursor
+	ba, bb := a.NextBatch(), b.NextBatch()
+	if len(ba) != 1 || len(bb) != 1 || ba[0] != 2 || bb[0] != 2 {
+		t.Fatalf("removal position changed RR order: removed-before=%v removed-after=%v, want [2] for both", ba, bb)
+	}
+	// Removing the due thread hands the turn to its successor.
+	c := mk()
+	c.Remove(2)
+	if bc := c.NextBatch(); len(bc) != 1 || bc[0] != 3 {
+		t.Fatalf("removing the due thread: next batch %v, want [3]", bc)
+	}
+
+	// Churn phase: interleave Add/Remove with issue rounds at varying
+	// rotation phases, then measure a fixed window and assert the §6 bound.
+	p := New(2)
+	for i := 0; i < 6; i++ {
+		p.Add(i, 1)
+	}
+	phase := []struct {
+		rounds int
+		remove int
+		add    int
+	}{
+		{3, 0, -1}, {5, 5, 6}, {1, 3, -1}, {7, -1, 7}, {2, 1, 0},
+	}
+	for _, ph := range phase {
+		for r := 0; r < ph.rounds; r++ {
+			p.NextBatch()
+		}
+		if ph.remove >= 0 {
+			p.Remove(ph.remove)
+		}
+		if ph.add >= 0 {
+			p.Add(ph.add, 1)
+		}
+	}
+	// Fixed-set window: snapshot issue counts, run k batches, check the
+	// per-thread delta against the one-rotation bound (n slack).
+	ids := []int{0, 2, 4, 6, 7}
+	for _, id := range ids {
+		if !p.Contains(id) {
+			t.Fatalf("setup: thread %d not runnable", id)
+		}
+	}
+	before := make(map[int]uint64, len(ids))
+	for _, id := range ids {
+		before[id] = p.Issued(id)
+	}
+	const k = 500
+	for r := 0; r < k; r++ {
+		p.NextBatch()
+	}
+	var lo, hi uint64 = math.MaxUint64, 0
+	for _, id := range ids {
+		d := p.Issued(id) - before[id]
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if hi-lo > uint64(len(ids)) {
+		t.Fatalf("fairness bound violated after churn: window deltas span [%d,%d], slack > %d", lo, hi, len(ids))
+	}
+}
+
+// ChargedLatency is called once per simulated instruction; it must not
+// allocate (ISSUE 1 hot-path guard).
+func TestChargedLatencyAllocFree(t *testing.T) {
+	p := New(2)
+	for i := 0; i < 8; i++ {
+		p.Add(i, 1+i%3)
+	}
+	p.Slowdown(0) // warm the cache
+	if a := testing.AllocsPerRun(1000, func() {
+		if p.ChargedLatency(3, 100) < 100 {
+			t.Fatal("charged below base")
+		}
+	}); a != 0 {
+		t.Fatalf("ChargedLatency allocates %.1f per op, want 0", a)
+	}
+	// Membership churn invalidates the cache but still must not allocate
+	// once the id→index table has seen the ids.
+	if a := testing.AllocsPerRun(1000, func() {
+		p.Remove(3)
+		p.Add(3, 2)
+		_ = p.ChargedLatency(3, 100)
+	}); a != 0 {
+		t.Fatalf("churned ChargedLatency allocates %.1f per op, want 0", a)
+	}
+}
+
+// The cached slowdown must track weight and membership changes exactly.
+func TestSlowdownCacheInvalidation(t *testing.T) {
+	p := New(2)
+	p.Add(1, 1)
+	p.Add(2, 1)
+	p.Add(3, 1)
+	p.Add(4, 1)
+	// 4 equal threads, 2 slots: slowdown 2.
+	if got := p.Slowdown(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slowdown = %v, want 2", got)
+	}
+	p.Remove(3)
+	p.Remove(4)
+	// Now 2 threads on 2 slots: full speed — a stale cache would still say 2.
+	if got := p.Slowdown(1); got != 1 {
+		t.Fatalf("slowdown after removals = %v, want 1", got)
+	}
+	p.Add(1, 3) // weight change: total 4, share(1)=2*3/4>1 → 1; share(2)=2/4 → 2
+	if got := p.Slowdown(2); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slowdown after weight change = %v, want 2", got)
+	}
+}
+
 func TestStringer(t *testing.T) {
 	p := New(2)
 	p.Add(1, 1)

@@ -1,66 +1,65 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a unit of scheduled work. Fn runs when simulated time reaches At.
-// Events with equal timestamps run in scheduling (FIFO) order, which makes
-// runs bit-for-bit reproducible.
-type Event struct {
-	At   Cycles
-	Seq  uint64 // tie-breaker: insertion order
-	Name string // for tracing/debugging
-	Fn   func()
+// Handle identifies a scheduled event. The zero Handle is invalid (never
+// returned by the engine), so a Handle field can be reset with plain
+// assignment to 0. Handles are generation-checked: once the event has run or
+// been discarded, the handle goes stale and Cancel/Cancelled on it are
+// harmless no-ops — a recycled slot can never be cancelled through an old
+// handle.
+type Handle uint64
 
-	index     int // heap index
+// NoEvent is the invalid zero Handle.
+const NoEvent Handle = 0
+
+// Callback is an allocation-free event body. Long-lived objects (a core's
+// per-ptid exec state, a timer, a queueing server) implement OnEvent once and
+// are rescheduled again and again without creating a closure per event; this
+// is what keeps the steady-state scheduling path at zero allocations.
+type Callback interface {
+	OnEvent()
+}
+
+// eventSlot is one arena entry. Slots are recycled through a freelist; gen
+// increments on every release so stale Handles cannot reach a reused slot.
+type eventSlot struct {
+	fn        func()
+	cb        Callback
+	name      string
+	gen       uint32
+	queued    bool
 	cancelled bool
 }
 
-// Cancel marks the event so it will be skipped when popped. Cancelling an
-// already-run event is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// heapEntry is one priority-queue element. The sort key (At, Seq) is stored
+// inline so heap comparisons never chase into the arena.
+type heapEntry struct {
+	at   Cycles
+	seq  uint64
+	slot int32
+}
 
-// Cancelled reports whether Cancel has been called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].Seq < h[j].Seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a deterministic discrete-event loop bound to a Clock.
 // It is not safe for concurrent use: the whole simulation is single-threaded
 // by design so that identical inputs give identical cycle-exact outputs
 // (virtual time cannot be perturbed by host scheduling or GC pauses).
+//
+// Events live in a freelist-backed arena and are addressed by Handle; the
+// ready queue is a 4-ary implicit heap of (time, seq) keys. Equal timestamps
+// run in scheduling (FIFO) order, which makes runs bit-for-bit reproducible.
 type Engine struct {
 	clock *Clock
-	heap  eventHeap
+	heap  []heapEntry
+	slots []eventSlot
+	free  []int32
 	seq   uint64
 	ran   uint64
 }
@@ -86,23 +85,181 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // Ran returns the number of events executed so far.
 func (e *Engine) Ran() uint64 { return e.ran }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics.
-func (e *Engine) At(t Cycles, name string, fn func()) *Event {
+// alloc takes a slot from the freelist, growing the arena when empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.slots = append(e.slots, eventSlot{gen: 1})
+	return int32(len(e.slots) - 1)
+}
+
+// release clears a slot, bumps its generation, and returns it to the
+// freelist. Clearing fn/cb drops any closure references immediately.
+func (e *Engine) release(s int32) {
+	sl := &e.slots[s]
+	sl.fn = nil
+	sl.cb = nil
+	sl.name = ""
+	sl.queued = false
+	sl.cancelled = false
+	sl.gen++
+	if sl.gen == 0 {
+		sl.gen = 1
+	}
+	e.free = append(e.free, s)
+}
+
+func handleOf(slot int32, gen uint32) Handle {
+	return Handle(uint64(uint32(slot+1)) | uint64(gen)<<32)
+}
+
+// slotOf resolves a Handle to its arena index, or -1 when the handle is
+// invalid or stale (the event already ran or was discarded).
+func (e *Engine) slotOf(h Handle) int32 {
+	s := int32(uint32(h)) - 1
+	if s < 0 || int(s) >= len(e.slots) {
+		return -1
+	}
+	if e.slots[s].gen != uint32(h>>32) {
+		return -1
+	}
+	return s
+}
+
+// push inserts an entry with hole-based sift-up (4-ary heap).
+func (e *Engine) push(en heapEntry) {
+	h := append(e.heap, en)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(en, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = en
+	e.heap = h
+}
+
+// pop removes and returns the minimum entry.
+func (e *Engine) pop() heapEntry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
+}
+
+// siftDown places en starting from the root (4-ary hole sift-down).
+func (e *Engine) siftDown(en heapEntry) {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], en) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = en
+}
+
+// schedule is the common body of At/AtCallback.
+func (e *Engine) schedule(t Cycles, name string, fn func(), cb Callback) Handle {
 	if t < e.clock.Now() {
 		panic(fmt.Sprintf("sim: event %q scheduled at %d, before now=%d", name, t, e.clock.Now()))
 	}
-	ev := &Event{At: t, Seq: e.seq, Name: name, Fn: fn}
+	s := e.alloc()
+	sl := &e.slots[s]
+	sl.fn = fn
+	sl.cb = cb
+	sl.name = name
+	sl.queued = true
+	e.push(heapEntry{at: t, seq: e.seq, slot: s})
 	e.seq++
-	heap.Push(&e.heap, ev)
-	return ev
+	return handleOf(s, sl.gen)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics.
+func (e *Engine) At(t Cycles, name string, fn func()) Handle {
+	return e.schedule(t, name, fn, nil)
 }
 
 // After schedules fn to run d cycles from now.
-func (e *Engine) After(d Cycles, name string, fn func()) *Event {
+func (e *Engine) After(d Cycles, name string, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: event %q scheduled %d cycles in the past", name, d))
 	}
-	return e.At(e.clock.Now()+d, name, fn)
+	return e.schedule(e.clock.Now()+d, name, fn, nil)
+}
+
+// AtCallback schedules cb.OnEvent to run at absolute time t. Unlike At, the
+// caller allocates nothing per event: the slot comes from the engine's arena
+// and cb is a preexisting object.
+func (e *Engine) AtCallback(t Cycles, name string, cb Callback) Handle {
+	return e.schedule(t, name, nil, cb)
+}
+
+// AfterCallback schedules cb.OnEvent to run d cycles from now.
+func (e *Engine) AfterCallback(d Cycles, name string, cb Callback) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: event %q scheduled %d cycles in the past", name, d))
+	}
+	return e.schedule(e.clock.Now()+d, name, nil, cb)
+}
+
+// Cancel marks the event so it will be skipped when popped. Cancelling an
+// already-run, already-cancelled, or stale handle is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if s := e.slotOf(h); s >= 0 && e.slots[s].queued {
+		e.slots[s].cancelled = true
+	}
+}
+
+// Cancelled reports whether h refers to a still-queued event that has been
+// cancelled. Once the event is popped (run or discarded) the handle is stale
+// and Cancelled returns false.
+func (e *Engine) Cancelled(h Handle) bool {
+	s := e.slotOf(h)
+	return s >= 0 && e.slots[s].cancelled
+}
+
+// runSlot releases en's slot and invokes its body. The slot is released
+// before the body runs so the body may freely schedule new events (possibly
+// reusing the very same slot); the old handle is stale by then.
+func (e *Engine) runSlot(en heapEntry) {
+	sl := &e.slots[en.slot]
+	fn, cb := sl.fn, sl.cb
+	e.release(en.slot)
+	e.ran++
+	if cb != nil {
+		cb.OnEvent()
+	} else {
+		fn()
+	}
 }
 
 // Step pops and runs the next event, advancing the clock to its timestamp.
@@ -112,13 +269,13 @@ func (e *Engine) After(d Cycles, name string, fn func()) *Event {
 // subsequent events relative to a run where the event was a no-op).
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*Event)
-		e.clock.AdvanceTo(ev.At)
-		if ev.cancelled {
+		en := e.pop()
+		e.clock.AdvanceTo(en.at)
+		if e.slots[en.slot].cancelled {
+			e.release(en.slot)
 			continue
 		}
-		e.ran++
-		ev.Fn()
+		e.runSlot(en)
 		return true
 	}
 	return false
@@ -138,19 +295,24 @@ func (e *Engine) Run(limit int) int {
 }
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled
-// beyond the deadline remain queued. The clock is left at the later of its
-// current time and the deadline.
+// beyond the deadline remain queued — including events scheduled behind a
+// cancelled head event: discarding a cancelled event re-checks the new head
+// against the deadline rather than unconditionally running it. The clock is
+// left at the later of its current time and the deadline.
 func (e *Engine) RunUntil(deadline Cycles) int {
 	n := 0
 	for len(e.heap) > 0 {
-		// Peek.
-		next := e.heap[0]
-		if next.At > deadline {
+		if e.heap[0].at > deadline {
 			break
 		}
-		if e.Step() {
-			n++
+		en := e.pop()
+		e.clock.AdvanceTo(en.at)
+		if e.slots[en.slot].cancelled {
+			e.release(en.slot)
+			continue
 		}
+		e.runSlot(en)
+		n++
 	}
 	if e.clock.Now() < deadline {
 		e.clock.AdvanceTo(deadline)

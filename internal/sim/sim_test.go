@@ -106,8 +106,8 @@ func TestEngineCancel(t *testing.T) {
 	ev := e.At(10, "x", func() { ran = true })
 	hit := false
 	e.At(20, "y", func() { hit = true })
-	ev.Cancel()
-	if !ev.Cancelled() {
+	e.Cancel(ev)
+	if !e.Cancelled(ev) {
 		t.Fatal("Cancelled() false after Cancel")
 	}
 	e.Run(0)
@@ -144,6 +144,86 @@ func TestEngineRunUntil(t *testing.T) {
 		t.Fatalf("second RunUntil: n=%d now=%d", n, e.Now())
 	}
 }
+
+// Regression: a cancelled event at the heap head must not let RunUntil
+// execute the event behind it when that event lies past the deadline. (The
+// old loop peeked the head, saw the cancelled event inside the deadline, and
+// then Step ran the *next* event unconditionally.)
+func TestRunUntilCancelledHeadRespectsDeadline(t *testing.T) {
+	e := NewEngine(nil)
+	ev := e.At(10, "cancelled", func() { t.Fatal("cancelled event ran") })
+	late := false
+	e.At(30, "late", func() { late = true })
+	e.Cancel(ev)
+	n := e.RunUntil(20)
+	if n != 0 {
+		t.Fatalf("RunUntil ran %d events, want 0", n)
+	}
+	if late {
+		t.Fatal("event at 30 ran with deadline 20")
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock at %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+	// The surviving event runs once the deadline allows it.
+	if n := e.RunUntil(40); n != 1 || !late {
+		t.Fatalf("second RunUntil: n=%d late=%v", n, late)
+	}
+}
+
+// Handles are generation-checked: cancelling a stale handle must not touch
+// the recycled slot now occupied by a different event.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	e := NewEngine(nil)
+	old := e.At(10, "first", func() {})
+	e.Run(1) // runs and frees the slot
+	ran := false
+	e.At(20, "second", func() { ran = true }) // reuses the freed slot
+	e.Cancel(old)                             // stale: must be a no-op
+	if e.Cancelled(old) {
+		t.Fatal("stale handle reports cancelled")
+	}
+	e.Run(0)
+	if !ran {
+		t.Fatal("recycled-slot event was cancelled through a stale handle")
+	}
+}
+
+// Steady-state scheduling must not allocate: slots come from the freelist
+// and the callback form needs no closure. This guards the arena rewrite
+// against regressions (ISSUE 1: ~33% of profile time was mallocgc).
+func TestEngineSchedulingAllocFree(t *testing.T) {
+	e := NewEngine(nil)
+	fn := func() {}
+	// Warm the arena and heap capacity.
+	for i := 0; i < 64; i++ {
+		e.After(Cycles(i), "warm", fn)
+	}
+	e.Run(0)
+	if a := testing.AllocsPerRun(1000, func() {
+		e.After(5, "tick", fn)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("After+Step allocates %.1f per op, want 0", a)
+	}
+	var cb countingCallback
+	if a := testing.AllocsPerRun(1000, func() {
+		e.AfterCallback(5, "tick", &cb)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("AfterCallback+Step allocates %.1f per op, want 0", a)
+	}
+	if cb.n == 0 {
+		t.Fatal("callback never ran")
+	}
+}
+
+type countingCallback struct{ n int }
+
+func (c *countingCallback) OnEvent() { c.n++ }
 
 func TestEngineAfterAndLimit(t *testing.T) {
 	e := NewEngine(nil)

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# bench.sh — regression harness for the simulator's hot paths.
+#
+# 1. Proves determinism: `nocsim -all` (serial AND -parallel 8) must be
+#    byte-identical to the committed golden results_full.txt.
+# 2. Times `nocsim -all` wall clock.
+# 3. Runs the repository testing.B benchmarks with -benchmem.
+# 4. Emits BENCH_1.json: per-experiment ns/op, B/op, allocs/op, plus the
+#    wall times, so the next hot-path PR starts from numbers, not guesses.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=1x (default) controls -benchtime; set e.g. BENCHTIME=2s for
+#   steadier numbers on a quiet machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_1.json}
+BENCHTIME=${BENCHTIME:-1x}
+GOLDEN=results_full.txt
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== build =="
+go build -o "$TMP/nocsim" ./cmd/nocsim
+
+echo "== determinism: nocsim -all vs $GOLDEN =="
+t0=$(date +%s%N)
+"$TMP/nocsim" -all > "$TMP/all.txt"
+t1=$(date +%s%N)
+wall_ms=$(( (t1 - t0) / 1000000 ))
+if ! diff -u "$GOLDEN" "$TMP/all.txt" > "$TMP/diff.txt"; then
+    echo "FAIL: nocsim -all output differs from committed golden $GOLDEN:" >&2
+    head -40 "$TMP/diff.txt" >&2
+    exit 1
+fi
+echo "   serial: identical, ${wall_ms} ms"
+
+t0=$(date +%s%N)
+"$TMP/nocsim" -all -parallel 8 > "$TMP/all_par.txt"
+t1=$(date +%s%N)
+wall_par_ms=$(( (t1 - t0) / 1000000 ))
+if ! cmp -s "$GOLDEN" "$TMP/all_par.txt"; then
+    echo "FAIL: nocsim -all -parallel 8 output differs from golden (determinism broken)" >&2
+    exit 1
+fi
+echo "   -parallel 8: identical, ${wall_par_ms} ms"
+
+echo "== benchmarks (-benchmem -benchtime $BENCHTIME) =="
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$TMP/bench.txt"
+
+echo "== writing $OUT =="
+awk -v wall_ms="$wall_ms" -v wall_par_ms="$wall_par_ms" '
+BEGIN { n = 0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs; n++
+}
+END {
+    printf "{\n"
+    printf "  \"nocsim_all_wall_ms\": %d,\n", wall_ms
+    printf "  \"nocsim_all_parallel8_wall_ms\": %d,\n", wall_par_ms
+    printf "  \"golden_diff\": \"identical\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], nss[i], bs[i] == "" ? "null" : bs[i], as[i] == "" ? "null" : as[i], i < n-1 ? "," : ""
+    }
+    printf "  ]\n}\n"
+}' "$TMP/bench.txt" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks, nocsim -all ${wall_ms} ms)"
