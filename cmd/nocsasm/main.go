@@ -63,7 +63,7 @@ func main() {
 		return
 	}
 
-	m := machine.NewDefault()
+	m := machine.New()
 	c := m.Core(0)
 	var tb core.TraceBuffer
 	if *trace > 0 {

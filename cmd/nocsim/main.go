@@ -11,6 +11,7 @@
 //	nocsim -seed 7 -exp F7    # alternate workload seed
 //	nocsim -all -parallel 8   # concurrent experiments, identical output
 //	nocsim -all -cpuprofile cpu.pb.gz   # profile the simulator itself
+//	nocsim -exp F1 -trace f1.json       # cycle trace, open at ui.perfetto.dev
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"nocs/internal/bench"
+	"nocs/internal/trace"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "run up to N experiments (and sweep points within them) concurrently; every run uses isolated engines and results merge in registry order, so output is identical at any setting")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after all runs) to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev); forces -parallel 1")
 	)
 	flag.Parse()
 
@@ -74,6 +77,12 @@ func main() {
 	}
 
 	cfg := bench.RunConfig{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	if *traceOut != "" {
+		cfg.Tracer = trace.New()
+		if *parallel > 1 {
+			fmt.Fprintln(os.Stderr, "note: -trace forces serial execution for a deterministic event order")
+		}
+	}
 	failed := 0
 	for _, o := range bench.RunAll(ids, cfg, *parallel) {
 		if o.Err != nil {
@@ -89,6 +98,23 @@ func main() {
 		default:
 			fmt.Println(o.Res)
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cfg.Tracer.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", cfg.Tracer.Len(), *traceOut)
 	}
 
 	if *memprofile != "" {

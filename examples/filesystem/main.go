@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	ssd, err := m.NewSSD(device.SSDConfig{
 		SQBase: 0x400000, CQBase: 0x410000,

@@ -45,7 +45,7 @@ func main() {
 
 	// Trusted legacy hypervisor (in-kernel, KVM shape).
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		h := hypervisor.AttachLegacy(m.Core(0), hypervisor.Config{})
 		prog := asm.MustAssemble("guest", guestProgram())
 		m.Core(0).BindProgram(0, prog, "main")
@@ -58,7 +58,7 @@ func main() {
 
 	// Deprivileged legacy hypervisor.
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		hypervisor.AttachLegacyUntrusted(m.Core(0), hypervisor.Config{})
 		prog := asm.MustAssemble("guest", guestProgram())
 		m.Core(0).BindProgram(0, prog, "main")
@@ -70,7 +70,7 @@ func main() {
 
 	// The paper's chain: unprivileged hypervisor ptid + kernel ptid.
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		prog := asm.MustAssemble("guest", guestProgram())
 		if err := m.Core(0).BindProgram(0, prog, "main"); err != nil {

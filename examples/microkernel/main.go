@@ -38,7 +38,7 @@ loop:
 
 	// Mechanism 1: service compiled into the kernel (monolithic).
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		ukernel.RegisterMonolithic(k, 10, ukernel.FSWork)
 		m.Core(0).BindProgram(0, legacyClient, "main")
@@ -49,7 +49,7 @@ loop:
 
 	// Mechanism 2: service as a process, scheduler-mediated IPC.
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		ukernel.RegisterLegacyIPC(k, 10, ukernel.LegacyIPCCosts{}, ukernel.FSWork)
 		m.Core(0).BindProgram(0, legacyClient, "main")
@@ -60,7 +60,7 @@ loop:
 
 	// Mechanism 3: service in its own hardware thread, direct mailbox IPC.
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		svc, err := ukernel.NewMailboxService(k, "fs", 0xB00000, 1, ukernel.FSWork)
 		if err != nil {

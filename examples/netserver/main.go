@@ -35,10 +35,14 @@ const (
 )
 
 func nic(m *machine.Machine, sig device.Signal) *device.NIC {
-	return m.NewNIC(device.NICConfig{
+	n, err := m.NewNIC(device.NICConfig{
 		RingBase: 0x100000, BufBase: 0x200000,
 		TailAddr: 0x300000, HeadAddr: 0x300008,
 	}, sig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
 }
 
 func arrivals(m *machine.Machine, n *device.NIC) []sim.Cycles {
@@ -66,7 +70,7 @@ func main() {
 
 	// --- nocs: mwait hardware thread ---
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		n := nic(m, device.Signal{})
 		h := metrics.NewHistogram()
@@ -90,7 +94,7 @@ func main() {
 
 	// --- legacy: interrupt-driven ---
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		n := nic(m, device.Signal{IRQ: m.IRQ(), Vector: 33})
 		h := metrics.NewHistogram()
@@ -117,7 +121,7 @@ func main() {
 
 	// --- polling thread ---
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		n := nic(m, device.Signal{})
 		h := metrics.NewHistogram()
 		var times []sim.Cycles

@@ -22,7 +22,7 @@ import (
 const mailbox = 0x1000
 
 func main() {
-	m := machine.NewDefault()
+	m := machine.New()
 	core := m.Core(0)
 
 	consumer := asm.MustAssemble("consumer", `
@@ -45,6 +45,9 @@ loop:
 main:
 	movi r1, 0x1000
 	movi r2, 0
+	movi r5, 0         ; loop counter — registers only happen to boot as 0,
+	                   ; a supervisor may hand this thread a dirty register
+	                   ; file, so never rely on implicit zeroing
 	movi r6, 10
 	movi r7, 3
 produce:

@@ -33,7 +33,7 @@ const (
 )
 
 func main() {
-	m := machine.NewDefault()
+	m := machine.New()
 	c := m.Core(0)
 
 	// The application: sends each packet, starts the filter, blocks on the

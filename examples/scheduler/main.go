@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"log"
 
-	"nocs/internal/core"
 	"nocs/internal/hwthread"
 	"nocs/internal/kernel"
 	"nocs/internal/machine"
@@ -21,11 +20,10 @@ import (
 )
 
 func main() {
-	m := machine.New(machine.Config{
-		Cores:             1,
-		DMAMonitorVisible: true,
-		Core:              core.Config{Threads: 64, Slots: 2},
-	})
+	m := machine.New(
+		machine.WithThreads(64),
+		machine.WithSMTSlots(2),
+	)
 	k := kernel.NewNocs(m.Core(0))
 	workers := []hwthread.PTID{0, 1, 2, 3}
 	s, err := kernel.NewScheduler(k, workers, 0x700000, 200)

@@ -19,7 +19,7 @@ import (
 // prevents arbitrarily nested exceptions, so long as another thread C
 // handles B's exceptions."
 func TestConsecutiveExceptions(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	c := m.Core(0)
 	const (
 		edpA = 0x2000
@@ -106,7 +106,7 @@ main:
 // handler. Triggering an exception in a thread without a handler ...
 // indicates a serious kernel bug akin to a triple-fault."
 func TestHandlerChainEndsInTripleFault(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	c := m.Core(0)
 	// A faults; B (its handler) faults too, and B has no EDP.
 	a := asm.MustAssemble("A", "main:\n\tmovi r1, 1\n\tmovi r2, 0\n\tdiv r3, r1, r2\n\thalt")
@@ -140,9 +140,12 @@ main:
 // triggered. In turn, the hardware thread hosting the kernel scheduler can
 // monitor/mwait on that memory location."
 func TestTimerDrivenScheduler(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	c := m.Core(0)
-	tm := m.NewTimer(device.TimerConfig{CounterAddr: 0x100, Period: 5000}, device.Signal{})
+	tm, err := m.NewTimer(device.TimerConfig{CounterAddr: 0x100, Period: 5000}, device.Signal{})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	k := kernel.NewNocs(c)
 	ticks := 0
@@ -175,7 +178,7 @@ func TestTimerDrivenScheduler(t *testing.T) {
 // TestMixedPersonalityMachine runs a legacy kernel on core 0 and a nocs
 // kernel on core 1 of the same machine, simultaneously, sharing memory.
 func TestMixedPersonalityMachine(t *testing.T) {
-	m := machine.New(machine.Config{Cores: 2, DMAMonitorVisible: true})
+	m := machine.New(machine.WithCores(2))
 
 	kl := kernel.NewLegacy(m.Core(0))
 	kl.RegisterSyscall(1, func(tc *hwthread.Context, args [4]int64) (int64, sim.Cycles) {
@@ -218,12 +221,15 @@ main:
 // threads) twice and demands bit-identical cycle counts.
 func TestEndToEndDeterminism(t *testing.T) {
 	run := func() (sim.Cycles, uint64) {
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
-		nic := m.NewNIC(device.NICConfig{
+		nic, err := m.NewNIC(device.NICConfig{
 			RingBase: 0x100000, BufBase: 0x200000,
 			TailAddr: 0x300000, HeadAddr: 0x300008,
 		}, device.Signal{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		served := 0
 		k.ServeDevice("rx", nic.TailAddr(), 0x300008, 500,
 			func(seq int64, at sim.Cycles) { served++ })
@@ -275,11 +281,7 @@ loop:
 // paper's upper ambition — and runs a wave of thread-per-request work
 // through it.
 func TestThousandThreadCore(t *testing.T) {
-	m := machine.New(machine.Config{
-		Cores:             1,
-		DMAMonitorVisible: true,
-		Core:              core.Config{Threads: 1024, Slots: 4},
-	})
+	m := machine.New(machine.WithThreads(1024), machine.WithSMTSlots(4))
 	k := kernel.NewNocs(m.Core(0))
 	r := k.NewRequestRunner(500)
 	done := 0

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"nocs/internal/metrics"
+	"nocs/internal/trace"
 )
 
 // RunConfig parameterizes an experiment run.
@@ -26,6 +27,10 @@ type RunConfig struct {
 	// state; results are merged in point order, which keeps the rendered
 	// tables byte-identical at any setting. 0 or 1 means serial.
 	Parallel int
+	// Tracer, when non-nil, is attached to the machines that tracing-aware
+	// experiments build (F1, F7). The tracer is single-threaded, so a
+	// non-nil Tracer forces serial execution regardless of Parallel.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig is the reproduction configuration used by the CLI.
@@ -136,7 +141,7 @@ type Outcome struct {
 // share no simulation state; outcomes are returned in input order, which
 // makes the rendered output independent of host scheduling.
 func RunAll(ids []string, cfg RunConfig, parallel int) []Outcome {
-	if parallel < 1 {
+	if parallel < 1 || cfg.Tracer != nil {
 		parallel = 1
 	}
 	out := make([]Outcome, len(ids))
@@ -163,7 +168,7 @@ func RunAll(ids []string, cfg RunConfig, parallel int) []Outcome {
 // the printed tables — is identical whether points run serially or not.
 // The error from the lowest-indexed failing point is returned.
 func ForEachPoint(cfg RunConfig, n int, fn func(i int) error) error {
-	if cfg.Parallel <= 1 {
+	if cfg.Parallel <= 1 || cfg.Tracer != nil {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err

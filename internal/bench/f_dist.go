@@ -47,7 +47,7 @@ func runF10(cfg RunConfig) (*Result, error) {
 	// on its response slot. Runs on the real core model.
 	nocsHist := metrics.NewHistogram()
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		c := m.Core(0)
 		const slotBase = 0xC00000

@@ -81,7 +81,7 @@ func f2Arrivals(m *machine.Machine, nic *device.NIC, n int, meanGap float64, see
 
 // runF2Mwait measures the mwait-service-thread configuration at one load.
 func runF2Mwait(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	nic := f1NIC(m, device.Signal{})
 	r := &f2Result{latency: metrics.NewHistogram()}
@@ -107,7 +107,7 @@ func runF2Mwait(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPt
 
 // runF2Interrupt measures the interrupt-driven configuration at one load.
 func runF2Interrupt(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error) {
-	m := machine.NewDefault()
+	m := machine.New()
 	nic := f1NIC(m, device.Signal{IRQ: m.IRQ(), Vector: 33})
 	r := &f2Result{latency: metrics.NewHistogram()}
 	var times []sim.Cycles
@@ -138,7 +138,7 @@ func runF2Interrupt(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, a
 // runF2Polling measures the dedicated-polling-thread configuration at one
 // load.
 func runF2Polling(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error) {
-	m := machine.NewDefault()
+	m := machine.New()
 	nic := f1NIC(m, device.Signal{})
 	r := &f2Result{latency: metrics.NewHistogram()}
 	var times []sim.Cycles
@@ -241,7 +241,7 @@ func runA2(cfg RunConfig) (*Result, error) {
 		p50     int64
 	}
 	run := func(dmaVisible, irqFallback bool) (outcome, error) {
-		m := machine.New(machine.Config{Cores: 1, DMAMonitorVisible: dmaVisible})
+		m := machine.New(machine.WithDMAMonitorVisible(dmaVisible))
 		k := kernel.NewNocs(m.Core(0))
 		sig := device.Signal{}
 		if irqFallback {

@@ -43,7 +43,7 @@ loop:
 	// --- mechanism 1: monolithic in-kernel service ---
 	var monoPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		ukernel.RegisterMonolithic(k, 10, ukernel.FSWork)
 		m.Core(0).BindProgram(0, legacyLoop, "main")
@@ -55,7 +55,7 @@ loop:
 	// --- mechanism 2: legacy microkernel via scheduler ---
 	var ipcPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		ukernel.RegisterLegacyIPC(k, 10, ukernel.LegacyIPCCosts{}, ukernel.FSWork)
 		m.Core(0).BindProgram(0, legacyLoop, "main")
@@ -67,7 +67,7 @@ loop:
 	// --- mechanism 3: direct hardware-thread mailbox (XPC-like) ---
 	var directPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		svc, err := ukernel.NewMailboxService(k, "fs", 0xB00000, 1, ukernel.FSWork)
 		if err != nil {

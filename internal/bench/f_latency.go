@@ -48,12 +48,17 @@ const (
 	f1Spacing     = sim.Cycles(20000)
 )
 
-// f1NIC builds the standard F1/F2 NIC layout on a machine.
+// f1NIC builds the standard F1/F2 NIC layout on a machine. The layout is a
+// package constant, so a construction failure is a programming bug: panic.
 func f1NIC(m *machine.Machine, sig device.Signal) *device.NIC {
-	return m.NewNIC(device.NICConfig{
+	nic, err := m.NewNIC(device.NICConfig{
 		RingBase: 0x100000, BufBase: 0x200000,
 		TailAddr: 0x300000, HeadAddr: 0x300008,
 	}, sig)
+	if err != nil {
+		panic(err)
+	}
+	return nic
 }
 
 // deliverTrain schedules n single-word packets spaced evenly and returns the
@@ -78,7 +83,7 @@ func runF1(cfg RunConfig) (*Result, error) {
 	// --- mwait mechanism: dedicated hardware thread on the RX tail. ---
 	mwaitHist := metrics.NewHistogram()
 	{
-		m := machine.NewDefault()
+		m := machine.New(machine.WithTracer(cfg.Tracer), machine.WithName("F1/mwait"))
 		k := kernel.NewNocs(m.Core(0))
 		nic := f1NIC(m, device.Signal{})
 		var times []sim.Cycles
@@ -100,7 +105,7 @@ func runF1(cfg RunConfig) (*Result, error) {
 	// --- IRQ mechanism: legacy vectored interrupt into a busy thread. ---
 	irqHist := metrics.NewHistogram()
 	{
-		m := machine.NewDefault()
+		m := machine.New(machine.WithTracer(cfg.Tracer), machine.WithName("F1/irq"))
 		nic := f1NIC(m, device.Signal{IRQ: m.IRQ(), Vector: 33})
 		var times []sim.Cycles
 		entry := m.IRQ().Costs().Entry
@@ -132,7 +137,7 @@ func runF1(cfg RunConfig) (*Result, error) {
 	pollHist := metrics.NewHistogram()
 	var pollRetired uint64
 	{
-		m := machine.NewDefault()
+		m := machine.New(machine.WithTracer(cfg.Tracer), machine.WithName("F1/polling"))
 		nic := f1NIC(m, device.Signal{})
 		var times []sim.Cycles
 		lastSeen := int64(0)
@@ -286,7 +291,7 @@ func runF9(cfg RunConfig) (*Result, error) {
 	)
 
 	run := func(priority int) (*metrics.Histogram, error) {
-		m := machine.NewDefault()
+		m := machine.New()
 		c := m.Core(0)
 		hist := metrics.NewHistogram()
 		writeAt := make([]sim.Cycles, events+1)

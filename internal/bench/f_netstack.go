@@ -36,13 +36,16 @@ func runF16(cfg RunConfig) (*Result, error) {
 	// send mailbox → stack thread → TX ring. All monitor wakes, no kernel.
 	nocsHist := metrics.NewHistogram()
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
-		nic := m.NewNIC(device.NICConfig{
+		nic, err := m.NewNIC(device.NICConfig{
 			RingBase: 0x100000, BufBase: 0x200000,
 			TailAddr: 0x300000, HeadAddr: 0x300008,
 			TXRingBase: 0x310000, TXDoorbell: 0x9100_0000, TXCompAddr: 0x320000,
 		}, device.Signal{})
+		if err != nil {
+			return nil, err
+		}
 		st, err := netstack.New(k, nic, netstack.Config{
 			SocketBase: 0x500000, BufBase: 0x580000, SendMailbox: mailbox,
 		})
@@ -128,7 +131,7 @@ next:
 	// delivery timing.
 	legacyHist := metrics.NewHistogram()
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		costs := m.Core(0).Costs()
 		irqc := m.IRQ().Costs()
 		const (

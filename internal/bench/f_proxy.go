@@ -45,7 +45,7 @@ func runF14(cfg RunConfig) (*Result, error) {
 	// slot — control transfers thread-to-thread, never entering a kernel.
 	var nocsPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		c := m.Core(0)
 
@@ -120,7 +120,7 @@ loop:
 	// issues its own network syscall.
 	var legacyPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		cs := m.Core(0).Costs().ContextSwitch
 		const schedCost = sim.Cycles(400)
@@ -176,7 +176,7 @@ func runF15(cfg RunConfig) (*Result, error) {
 	// --- nocs: the real Scheduler, woken by its doorbell.
 	nocsHist := metrics.NewHistogram()
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		s, err := kernel.NewScheduler(k, []hwthread.PTID{0, 1}, 0x700000, 100)
 		if err != nil {

@@ -60,7 +60,7 @@ func runF12(cfg RunConfig) (*Result, error) {
 	var nocsPer float64
 	var devLat sim.Cycles
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		ssd, err := m.NewSSD(device.SSDConfig{
 			SQBase: f12SQBase, CQBase: f12CQBase,
@@ -145,7 +145,7 @@ loop:
 	// against the real SSD device and interrupt controller.
 	var legacyPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		costs := m.Core(0).Costs()
 		irqc := m.IRQ().Costs()
 		ssd, err := m.NewSSD(device.SSDConfig{
@@ -228,7 +228,7 @@ func runF13(cfg RunConfig) (*Result, error) {
 	// from core 0 through the machine-wide monitor.
 	monHist := metrics.NewHistogram()
 	{
-		m := machine.New(machine.Config{Cores: 2, DMAMonitorVisible: true})
+		m := machine.New(machine.WithCores(2))
 		k := kernel.NewNocs(m.Core(1))
 		writeAt := make([]sim.Cycles, n)
 		seen := 0
@@ -267,7 +267,7 @@ func runF13(cfg RunConfig) (*Result, error) {
 	// switches the target software thread in.
 	ipiHist := metrics.NewHistogram()
 	{
-		m := machine.New(machine.Config{Cores: 2, DMAMonitorVisible: true})
+		m := machine.New(machine.WithCores(2))
 		costs := m.Core(0).Costs()
 		const schedCost = sim.Cycles(400)
 		for i := 0; i < n; i++ {

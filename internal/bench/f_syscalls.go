@@ -73,7 +73,7 @@ func runF3(cfg RunConfig) (*Result, error) {
 	// --- synchronous in-thread (Linux shape) ---
 	var syncPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		k.RegisterSyscall(1, echo)
 		prog := asm.MustAssemble("u", syscallLoop(n))
@@ -89,7 +89,7 @@ func runF3(cfg RunConfig) (*Result, error) {
 	// --- FlexSC-style asynchronous page (dedicated worker core) ---
 	var flexPer float64
 	{
-		m := machine.New(machine.Config{Cores: 2, DMAMonitorVisible: true})
+		m := machine.New(machine.WithCores(2))
 		k := kernel.NewLegacy(m.Core(0))
 		k.RegisterSyscall(1, echo)
 		f := kernel.NewFlexSC(k, 0x700000, 8)
@@ -144,7 +144,7 @@ spin:
 	// --- dedicated syscall hardware thread (the paper's mechanism) ---
 	var nocsPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		k.RegisterSyscall(1, echo)
 		if _, err := k.ServeSyscalls([]hwthread.PTID{0}, 0x800000); err != nil {
@@ -203,7 +203,7 @@ loop:
 
 	var legacyPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		h := hypervisor.AttachLegacy(m.Core(0), hypervisor.Config{})
 		prog := asm.MustAssemble("g", guestSrc)
 		m.Core(0).BindProgram(0, prog, "main")
@@ -217,7 +217,7 @@ loop:
 
 	var nocsPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		prog := asm.MustAssemble("g", guestSrc)
 		m.Core(0).BindProgram(0, prog, "main")
@@ -271,7 +271,7 @@ loop:
 `, n)
 
 	runLegacy := func(kernelFP bool) (float64, error) {
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		m.Core(0).KernelUsesFP = kernelFP
 		k.RegisterSyscall(1, echo)
@@ -292,7 +292,7 @@ loop:
 
 	var nocsPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		k.RegisterSyscall(1, echo)
 		if _, err := k.ServeSyscalls([]hwthread.PTID{0}, 0x800000); err != nil {
@@ -338,7 +338,7 @@ loop:
 `, n)
 
 	runLegacy := func(untrusted bool) (float64, error) {
-		m := machine.NewDefault()
+		m := machine.New()
 		if untrusted {
 			hypervisor.AttachLegacyUntrusted(m.Core(0), hypervisor.Config{})
 		} else {
@@ -361,7 +361,7 @@ loop:
 
 	var nocsPer float64
 	{
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		prog := asm.MustAssemble("g", guestSrc)
 		m.Core(0).BindProgram(0, prog, "main")

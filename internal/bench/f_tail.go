@@ -6,6 +6,7 @@ import (
 	"nocs/internal/kernel"
 	"nocs/internal/metrics"
 	"nocs/internal/sim"
+	"nocs/internal/trace"
 	"nocs/internal/workload"
 )
 
@@ -51,10 +52,18 @@ func f7Dist(name string, rng *sim.RNG) workload.Service {
 }
 
 // runDiscipline runs n requests through a server and returns the latency
-// histogram.
-func runDiscipline(mk func(eng *sim.Engine) kernel.QueueServer, reqs []workload.Request) *metrics.Histogram {
+// histogram. When cfg carries a tracer, the server's request spans land in a
+// process group named by label (e.g. "F7/bimodal/0.9/nocs-ps").
+func runDiscipline(cfg RunConfig, label string, mk func(eng *sim.Engine) kernel.QueueServer, reqs []workload.Request) *metrics.Histogram {
 	eng := sim.NewEngine(nil)
 	srv := mk(eng)
+	if cfg.Tracer.Enabled() {
+		if t, ok := srv.(interface {
+			EnableTrace(*trace.Tracer, string)
+		}); ok {
+			t.EnableTrace(cfg.Tracer, label)
+		}
+	}
 	h := metrics.NewHistogram()
 	for _, c := range kernel.RunOpenLoop(eng, srv, reqs) {
 		h.RecordCycles(c.Latency)
@@ -105,7 +114,7 @@ func runF7(cfg RunConfig) (*Result, error) {
 		}
 		out := make([]f7Row, len(disciplines))
 		for di, d := range disciplines {
-			h := runDiscipline(d.mk, gen(seed))
+			h := runDiscipline(cfg, fmt.Sprintf("F7/%s/%.1f/%s", dist, load, d.name), d.mk, gen(seed))
 			p50, p99, p999, mean := h.Summary()
 			out[di] = f7Row{p50, p99, p999, mean}
 		}
@@ -157,7 +166,7 @@ func runA1(cfg RunConfig) (*Result, error) {
 	slotsH := make([]*metrics.Histogram, len(slotsList))
 	if err := ForEachPoint(cfg, len(slotsList), func(i int) error {
 		slots := slotsList[i]
-		slotsH[i] = runDiscipline(func(eng *sim.Engine) kernel.QueueServer {
+		slotsH[i] = runDiscipline(cfg, fmt.Sprintf("A1/slots/%d", slots), func(eng *sim.Engine) kernel.QueueServer {
 			return kernel.NewPS(eng, slots, f7NocsOverhead, nil)
 		}, gen(slots, cfg.Seed))
 		return nil
@@ -176,7 +185,7 @@ func runA1(cfg RunConfig) (*Result, error) {
 	poolH := make([]*metrics.Histogram, len(pools))
 	if err := ForEachPoint(cfg, len(pools), func(i int) error {
 		pool := pools[i]
-		poolH[i] = runDiscipline(func(eng *sim.Engine) kernel.QueueServer {
+		poolH[i] = runDiscipline(cfg, fmt.Sprintf("A1/pool/%d", pool), func(eng *sim.Engine) kernel.QueueServer {
 			s := kernel.NewPS(eng, f7Servers, f7NocsOverhead, nil)
 			s.MaxActive = pool
 			return s

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"nocs/internal/hwthread"
 	"nocs/internal/isa"
@@ -22,6 +23,7 @@ import (
 	"nocs/internal/pipeline"
 	"nocs/internal/sim"
 	"nocs/internal/statestore"
+	"nocs/internal/trace"
 )
 
 // CostConfig parameterizes the architectural transition costs. Defaults
@@ -102,6 +104,11 @@ type Config struct {
 	Store statestore.Config
 	// Hier configures the data cache hierarchy.
 	Hier mem.HierarchyConfig
+	// Tracer, when non-nil, records per-ptid state spans, syscall/VM-exit
+	// spans, and pipeline occupancy counters. TraceName prefixes this core's
+	// track group (default "core<ID>").
+	Tracer    *trace.Tracer
+	TraceName string
 }
 
 // NativeFunc is a simulator pseudo-instruction body: it runs Go logic on
@@ -147,6 +154,14 @@ type Core struct {
 
 	guests map[hwthread.PTID]bool
 	halted map[hwthread.PTID]bool // parked by legacy HLT, not monitor
+
+	// Tracing (nil tr = off; one pointer compare on the hot paths). Each
+	// ptid's track carries a span per runnable/waiting period and an instant
+	// (with cause) per transition to disabled; trOpen tracks whether a state
+	// span is currently open on each ptid's track.
+	tr     *trace.Tracer
+	trName string
+	trOpen []bool
 
 	fatal   error
 	retired uint64
@@ -198,6 +213,15 @@ func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core 
 		natives: make(map[string]NativeFunc),
 		guests:  make(map[hwthread.PTID]bool),
 		halted:  make(map[hwthread.PTID]bool),
+	}
+	if cfg.Tracer != nil {
+		c.tr = cfg.Tracer
+		c.trName = cfg.TraceName
+		if c.trName == "" {
+			c.trName = "core" + strconv.Itoa(cfg.ID)
+		}
+		c.trOpen = make([]bool, cfg.Threads)
+		c.pipe.SetTracer(cfg.Tracer, func() int64 { return int64(eng.Now()) }, c.trName)
 	}
 	c.waiters = make([]*waiter, cfg.Threads)
 	c.execEv = make([]sim.Handle, cfg.Threads)
@@ -308,25 +332,70 @@ func (c *Core) BootStart(p hwthread.PTID) error {
 	}
 	t.State = hwthread.Runnable
 	t.Starts++
-	c.resume(t)
+	c.resume(t, "boot")
 	return nil
 }
 
+// Tracing helpers. Callers on hot paths guard with `c.tr != nil` so that a
+// disabled tracer costs a single pointer compare.
+
+// ptidTrack lazily registers and returns t's trace track. Tracks appear in
+// first-transition order, which is deterministic for a fixed seed.
+func (c *Core) ptidTrack(t *hwthread.Context) trace.TrackID {
+	if t.Track == 0 {
+		t.Track = int32(c.tr.NewTrack(c.trName, "ptid"+strconv.Itoa(int(t.PTID))))
+	}
+	return trace.TrackID(t.Track)
+}
+
+// traceStateBegin opens a state span ("runnable"/"waiting") on t's track;
+// cause labels why the transition happened.
+func (c *Core) traceStateBegin(t *hwthread.Context, state, cause string) {
+	tk := c.ptidTrack(t)
+	at := int64(c.eng.Now())
+	if c.trOpen[t.PTID] {
+		c.tr.End(tk, at) // defensive: never let spans partially overlap
+	}
+	c.tr.BeginArg(tk, state, cause, at)
+	c.trOpen[t.PTID] = true
+}
+
+// traceStateEnd closes the open state span on t's track, if any.
+func (c *Core) traceStateEnd(t *hwthread.Context) {
+	if !c.trOpen[t.PTID] {
+		return
+	}
+	c.tr.End(trace.TrackID(t.Track), int64(c.eng.Now()))
+	c.trOpen[t.PTID] = false
+}
+
+// traceInstant emits a labeled instant on t's track.
+func (c *Core) traceInstant(t *hwthread.Context, name, arg string) {
+	c.tr.InstantArg(c.ptidTrack(t), name, arg, int64(c.eng.Now()))
+}
+
 // resume puts a newly-runnable thread on the pipeline and schedules its
-// first instruction after its state-start latency.
-func (c *Core) resume(t *hwthread.Context) {
+// first instruction after its state-start latency. cause labels the
+// transition in traces ("boot", "start", "wake", "irq-wake").
+func (c *Core) resume(t *hwthread.Context, cause string) {
 	cost, err := c.store.Start(int(t.PTID), c.eng.Now())
 	if err != nil {
 		panic(err) // registered at construction; cannot be missing
 	}
 	c.starts++
 	t.LastStarted = c.eng.Now()
+	if c.tr != nil {
+		c.traceStateBegin(t, "runnable", cause)
+	}
 	c.pipe.Add(int(t.PTID), t.Weight())
 	c.scheduleExec(t, cost)
 }
 
 // suspend removes a thread from the pipeline and cancels its next issue.
 func (c *Core) suspend(t *hwthread.Context) {
+	if c.tr != nil {
+		c.traceStateEnd(t)
+	}
 	c.pipe.Remove(int(t.PTID))
 	if h := c.execEv[t.PTID]; h != sim.NoEvent {
 		c.eng.Cancel(h)
@@ -345,6 +414,12 @@ func (c *Core) wake(p hwthread.PTID, addr int64) {
 	}
 	if t.State != hwthread.Waiting {
 		t.Wakeups++
+		if c.tr != nil {
+			// Terminate the monitor's wake flow even when the thread never
+			// blocked (immediate completion): the arrow still shows causality.
+			c.tr.FlowEnd(c.ptidTrack(t), "wake", int64(c.eng.Now()), c.tr.TakeFlow())
+			c.traceInstant(t, "wake", "already-runnable")
+		}
 		if c.OnWake != nil {
 			c.OnWake(p, addr, c.eng.Now())
 		}
@@ -352,11 +427,15 @@ func (c *Core) wake(p hwthread.PTID, addr int64) {
 	}
 	t.State = hwthread.Runnable
 	t.Wakeups++
+	if c.tr != nil {
+		c.traceStateEnd(t) // close the "waiting" span
+		c.tr.FlowEnd(c.ptidTrack(t), "wake", int64(c.eng.Now()), c.tr.TakeFlow())
+	}
 	c.store.Prefetch(int(p), c.eng.Now())
 	if c.OnWake != nil {
 		c.OnWake(p, addr, c.eng.Now())
 	}
-	c.resume(t)
+	c.resume(t, "wake")
 }
 
 // scheduleExec arms the single in-flight execute event for t.
@@ -391,6 +470,9 @@ func (c *Core) SetFatal(p hwthread.PTID, f *hwthread.Fault) {
 // raise runs the §3.1 exception path on t and handles the no-handler case.
 func (c *Core) raise(t *hwthread.Context, cause hwthread.ExcCause, info int64) {
 	c.suspend(t)
+	if c.tr != nil {
+		c.traceInstant(t, "exception", cause.String())
+	}
 	if f := c.threads.RaiseException(t, cause, info); f != nil {
 		c.SetFatal(t.PTID, f)
 	}
@@ -426,6 +508,9 @@ func (c *Core) WaitArmed(t *hwthread.Context) bool {
 	if c.mon.Wait(c.waiters[t.PTID]) {
 		t.State = hwthread.Waiting
 		c.suspend(t)
+		if c.tr != nil {
+			c.traceStateBegin(t, "waiting", "mwait")
+		}
 		return true
 	}
 	return false
@@ -452,6 +537,9 @@ func (c *Core) StopThread(p hwthread.PTID) {
 	t.State = hwthread.Disabled
 	t.Stops++
 	c.suspend(t)
+	if c.tr != nil {
+		c.traceInstant(t, "disabled", "stop")
+	}
 }
 
 // StartThreadSupervised enables a ptid from native/kernel code after the
@@ -470,6 +558,6 @@ func (c *Core) StartThreadSupervised(p hwthread.PTID) error {
 	}
 	t.State = hwthread.Runnable
 	t.Starts++
-	c.resume(t)
+	c.resume(t, "start")
 	return nil
 }

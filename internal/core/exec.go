@@ -43,7 +43,11 @@ func (c *Core) execOne(t *hwthread.Context) {
 			// hypervisor has emulated the instruction; continue at PC+1.
 			cost := c.costs.VMExit + c.LegacyVMExit(c, t) + c.costs.VMEntry
 			r.PC = nextPC
-			c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+cost))
+			lat := c.pipe.ChargedLatency(int(t.PTID), base+cost)
+			if c.tr != nil {
+				c.tr.Complete(c.ptidTrack(t), "vm-exit", int64(c.eng.Now()), int64(lat))
+			}
+			c.scheduleExec(t, lat)
 			return
 		}
 		r.PC = nextPC // emulation resumes after the instruction
@@ -145,6 +149,9 @@ func (c *Core) execOne(t *hwthread.Context) {
 		t.Stops++
 		t.LastHalt = c.eng.Now()
 		c.suspend(t)
+		if c.tr != nil {
+			c.traceInstant(t, "disabled", "halt")
+		}
 		return
 
 	case isa.MONITOR:
@@ -158,6 +165,9 @@ func (c *Core) execOne(t *hwthread.Context) {
 		if c.mon.Wait(c.waiters[t.PTID]) {
 			t.State = hwthread.Waiting
 			c.suspend(t)
+			if c.tr != nil {
+				c.traceStateBegin(t, "waiting", "mwait")
+			}
 			return
 		}
 		// A watched write already landed: fall through, continue executing.
@@ -175,7 +185,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 		}
 		// A freshly-enabled thread is runnable but not yet on the pipeline.
 		if target.State == hwthread.Runnable && !c.pipe.Contains(int(target.PTID)) {
-			c.resume(target)
+			c.resume(target, "start")
 		}
 
 	case isa.STOP:
@@ -253,7 +263,11 @@ func (c *Core) execOne(t *hwthread.Context) {
 			cost += c.LegacySyscall(c, t)
 			cost += c.costs.SyscallExit
 			r.PC = nextPC
-			c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+cost))
+			lat := c.pipe.ChargedLatency(int(t.PTID), base+cost)
+			if c.tr != nil {
+				c.tr.Complete(c.ptidTrack(t), "syscall", int64(c.eng.Now()), int64(lat))
+			}
+			c.scheduleExec(t, lat)
 			return
 		}
 		// nocs personality: exception-less syscall — write a descriptor and
@@ -268,7 +282,11 @@ func (c *Core) execOne(t *hwthread.Context) {
 		if c.LegacyVMExit != nil {
 			cost := c.costs.VMExit + c.LegacyVMExit(c, t) + c.costs.VMEntry
 			r.PC = nextPC
-			c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+cost))
+			lat := c.pipe.ChargedLatency(int(t.PTID), base+cost)
+			if c.tr != nil {
+				c.tr.Complete(c.ptidTrack(t), "vm-exit", int64(c.eng.Now()), int64(lat))
+			}
+			c.scheduleExec(t, lat)
 			return
 		}
 		r.PC = nextPC
@@ -294,6 +312,9 @@ func (c *Core) execOne(t *hwthread.Context) {
 		t.State = hwthread.Waiting
 		c.halted[t.PTID] = true
 		c.suspend(t)
+		if c.tr != nil {
+			c.traceStateBegin(t, "waiting", "hlt")
+		}
 		return
 
 	case isa.NATIVE:
@@ -346,5 +367,8 @@ func (c *Core) WakeFromHalt(p hwthread.PTID) {
 	delete(c.halted, p)
 	t.State = hwthread.Runnable
 	t.Wakeups++
-	c.resume(t)
+	if c.tr != nil {
+		c.traceStateEnd(t) // close the "waiting" (hlt) span
+	}
+	c.resume(t, "irq-wake")
 }

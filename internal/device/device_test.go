@@ -18,7 +18,7 @@ func nicRig() (*sim.Engine, *mem.Memory, *NIC) {
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
 	dma := mem.NewDMA(m, mem.SrcDMA)
-	nic := NewNIC(NICConfig{
+	nic := mustNIC(NICConfig{
 		RingBase: 0x10000,
 		BufBase:  0x20000,
 		TailAddr: 0x30000,
@@ -78,7 +78,7 @@ func TestNICRingOverrunDrops(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
 	dma := mem.NewDMA(m, mem.SrcDMA)
-	nic := NewNIC(NICConfig{
+	nic := mustNIC(NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000,
 		TailAddr: 0x30000, HeadAddr: 0x30008,
 		RingEntries: 2,
@@ -104,7 +104,7 @@ func TestNICRingOverrunDrops(t *testing.T) {
 func TestNICNoOverrunCheckWithoutHeadAddr(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
-	nic := NewNIC(NICConfig{
+	nic := mustNIC(NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,
 		RingEntries: 2,
 	}, eng, mem.NewDMA(m, mem.SrcDMA), Signal{})
@@ -128,7 +128,7 @@ func TestNICLegacyVector(t *testing.T) {
 		fired++
 		return 0
 	})
-	nic := NewNIC(NICConfig{RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000},
+	nic := mustNIC(NICConfig{RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000},
 		eng, mem.NewDMA(m, mem.SrcDMA), Signal{IRQ: ctrl, Vector: 33})
 	nic.Deliver([]int64{1})
 	eng.Run(0)
@@ -140,7 +140,7 @@ func TestNICLegacyVector(t *testing.T) {
 func TestTimerPeriodicTicks(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
-	tm := NewTimer(TimerConfig{CounterAddr: 0x100, Period: 1000}, eng,
+	tm := mustTimer(TimerConfig{CounterAddr: 0x100, Period: 1000}, eng,
 		mem.NewDMA(m, mem.SrcMSI), Signal{})
 	tm.Start()
 	tm.Start() // idempotent
@@ -166,7 +166,7 @@ func TestTimerTickIsMSIWrite(t *testing.T) {
 	m := mem.NewMemory()
 	var src mem.WriteSource
 	m.AddObserver(observerFunc(func(addr, val int64, s mem.WriteSource) { src = s }))
-	tm := NewTimer(TimerConfig{CounterAddr: 0x100}, eng, mem.NewDMA(m, mem.SrcMSI), Signal{})
+	tm := mustTimer(TimerConfig{CounterAddr: 0x100}, eng, mem.NewDMA(m, mem.SrcMSI), Signal{})
 	tm.FireOnce()
 	if src != mem.SrcMSI {
 		t.Fatalf("tick source %v", src)
@@ -179,7 +179,7 @@ func TestTimerTickIsMSIWrite(t *testing.T) {
 func ssdRig() (*sim.Engine, *mem.Memory, *SSD) {
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
-	ssd := NewSSD(SSDConfig{
+	ssd := mustSSD(SSDConfig{
 		SQBase: 0x40000, CQBase: 0x50000,
 		DoorbellAddr: 0x9000_0000, CQTailAddr: 0x60000,
 		BaseLatency: 1000, PerWord: 2,
@@ -286,7 +286,7 @@ func TestSSDLegacyVector(t *testing.T) {
 	ctrl := irq.NewController(eng, irq.Costs{})
 	fired := 0
 	ctrl.Register(40, &fakeCore{}, 0, func(irq.Vector, sim.Cycles) sim.Cycles { fired++; return 0 })
-	ssd := NewSSD(SSDConfig{
+	ssd := mustSSD(SSDConfig{
 		SQBase: 0x40000, CQBase: 0x50000,
 		DoorbellAddr: 0x9000_0000, CQTailAddr: 0x60000,
 	}, eng, mem.NewDMA(m, mem.SrcDMA), Signal{IRQ: ctrl, Vector: 40})

@@ -82,6 +82,45 @@ func (c *NICConfig) setDefaults() {
 	}
 }
 
+// Validate checks the configuration after defaults are applied. The receive
+// path is mandatory (ring, buffers, and a monitorable tail); the transmit
+// side is optional but all-or-none: a TX ring without a doorbell (or vice
+// versa) is a mis-wired device.
+func (c *NICConfig) Validate() error {
+	if c.RingBase == 0 {
+		return fmt.Errorf("nic: RingBase is required")
+	}
+	if c.BufBase == 0 {
+		return fmt.Errorf("nic: BufBase is required")
+	}
+	if c.TailAddr == 0 {
+		return fmt.Errorf("nic: TailAddr is required (the monitorable RX tail)")
+	}
+	if c.RingEntries <= 0 {
+		return fmt.Errorf("nic: RingEntries %d must be positive", c.RingEntries)
+	}
+	if c.BufStride <= 0 {
+		return fmt.Errorf("nic: BufStride %d must be positive", c.BufStride)
+	}
+	if c.DMACycles <= 0 {
+		return fmt.Errorf("nic: DMACycles %d must be positive", c.DMACycles)
+	}
+	tx := c.TXRingBase != 0 || c.TXDoorbell != 0 || c.TXCompAddr != 0
+	if tx {
+		if c.TXRingBase == 0 || c.TXDoorbell == 0 {
+			return fmt.Errorf("nic: transmit side is all-or-none: TXRingBase and TXDoorbell are both required (got %#x, %#x)",
+				c.TXRingBase, c.TXDoorbell)
+		}
+		if c.TXEntries <= 0 {
+			return fmt.Errorf("nic: TXEntries %d must be positive", c.TXEntries)
+		}
+		if c.TXCycles <= 0 {
+			return fmt.Errorf("nic: TXCycles %d must be positive", c.TXCycles)
+		}
+	}
+	return nil
+}
+
 // NIC is a network interface model: DMA receive ring plus an MMIO-doorbell
 // transmit ring.
 type NIC struct {
@@ -100,10 +139,15 @@ type NIC struct {
 	OnTransmit func(payload []int64)
 }
 
-// NewNIC builds a NIC writing through the given DMA port.
-func NewNIC(cfg NICConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *NIC {
+// NewNIC builds a NIC writing through the given DMA port. The config is
+// validated after defaults are applied; a mis-laid-out device is an error,
+// not a panic.
+func NewNIC(cfg NICConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) (*NIC, error) {
 	cfg.setDefaults()
-	return &NIC{cfg: cfg, eng: eng, dma: dma, sig: sig}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &NIC{cfg: cfg, eng: eng, dma: dma, sig: sig}, nil
 }
 
 // Config returns the effective configuration.

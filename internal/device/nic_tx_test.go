@@ -11,7 +11,7 @@ import (
 func txRig() (*sim.Engine, *mem.Memory, *NIC) {
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
-	nic := NewNIC(NICConfig{
+	nic := mustNIC(NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,
 		TXRingBase: 0x40000, TXDoorbell: 0x9100_0000, TXCompAddr: 0x50000,
 		TXEntries: 4, TXCycles: 100,
@@ -93,7 +93,7 @@ func TestTXStaleDoorbellIgnored(t *testing.T) {
 func TestTXDisabledWithoutDoorbell(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
-	nic := NewNIC(NICConfig{
+	nic := mustNIC(NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,
 	}, eng, mem.NewDMA(m, mem.SrcDMA), Signal{})
 	nic.MMIOWrite(0x1234, 5) // no-op

@@ -84,10 +84,40 @@ type SSD struct {
 	inFlight  int
 }
 
-// NewSSD builds an SSD on the given DMA port.
-func NewSSD(cfg SSDConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *SSD {
+// Validate checks the configuration after defaults are applied.
+func (c *SSDConfig) Validate() error {
+	if c.SQBase == 0 {
+		return fmt.Errorf("ssd: SQBase is required")
+	}
+	if c.CQBase == 0 {
+		return fmt.Errorf("ssd: CQBase is required")
+	}
+	if c.DoorbellAddr == 0 {
+		return fmt.Errorf("ssd: DoorbellAddr is required")
+	}
+	if c.CQTailAddr == 0 {
+		return fmt.Errorf("ssd: CQTailAddr is required (the monitorable completion count)")
+	}
+	if c.Entries <= 0 {
+		return fmt.Errorf("ssd: Entries %d must be positive", c.Entries)
+	}
+	if c.BaseLatency <= 0 {
+		return fmt.Errorf("ssd: BaseLatency %d must be positive", c.BaseLatency)
+	}
+	if c.PerWord < 0 {
+		return fmt.Errorf("ssd: PerWord %d must be non-negative", c.PerWord)
+	}
+	return nil
+}
+
+// NewSSD builds an SSD on the given DMA port. The config is validated after
+// defaults are applied.
+func NewSSD(cfg SSDConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) (*SSD, error) {
 	cfg.setDefaults()
-	return &SSD{cfg: cfg, eng: eng, dma: dma, sig: sig}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SSD{cfg: cfg, eng: eng, dma: dma, sig: sig}, nil
 }
 
 // Config returns the effective configuration.

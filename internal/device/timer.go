@@ -1,6 +1,8 @@
 package device
 
 import (
+	"fmt"
+
 	"nocs/internal/mem"
 	"nocs/internal/sim"
 )
@@ -29,14 +31,29 @@ type Timer struct {
 	ev      sim.Handle
 }
 
+// Validate checks the configuration after defaults are applied.
+func (c *TimerConfig) Validate() error {
+	if c.CounterAddr == 0 {
+		return fmt.Errorf("timer: CounterAddr is required (the monitorable tick counter)")
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("timer: Period %d must be positive", c.Period)
+	}
+	return nil
+}
+
 // NewTimer builds a timer writing through the given DMA port (timers are
 // "devices" for visibility purposes: their counter writes must be
-// monitorable like any external event).
-func NewTimer(cfg TimerConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *Timer {
+// monitorable like any external event). The config is validated after
+// defaults are applied.
+func NewTimer(cfg TimerConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) (*Timer, error) {
 	if cfg.Period == 0 {
 		cfg.Period = 30000
 	}
-	return &Timer{cfg: cfg, eng: eng, dma: dma, sig: sig}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Timer{cfg: cfg, eng: eng, dma: dma, sig: sig}, nil
 }
 
 // Config returns the effective configuration.

@@ -17,7 +17,7 @@ const fsMailbox = 0x640000
 
 func rig(t *testing.T, slots int) (*machine.Machine, *FS, *kernel.BlockDev) {
 	t.Helper()
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	ssd, err := m.NewSSD(device.SSDConfig{
 		SQBase: 0x400000, CQBase: 0x410000,
@@ -168,7 +168,7 @@ func TestConcurrentClientsSerializeOnDriver(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	ssd, _ := m.NewSSD(device.SSDConfig{
 		SQBase: 0x400000, CQBase: 0x410000,

@@ -240,6 +240,12 @@ type Context struct {
 	Prog     *isa.Program // bound instruction memory
 	Priority int          // pipeline weight; 0 means default (1)
 
+	// Track is the ptid's trace timeline, lazily registered by the core on
+	// the thread's first state transition (0 = none yet). Stored as a plain
+	// int32 (the value of a trace.TrackID) so this package stays independent
+	// of the tracing layer.
+	Track int32
+
 	// Supervisor convenience accessor mirrors Regs.Mode.
 	tdtCache map[VTID]Entry
 

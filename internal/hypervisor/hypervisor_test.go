@@ -25,7 +25,7 @@ func stringOf(v int64) string {
 }
 
 func TestLegacyTrustedExit(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	h := AttachLegacy(m.Core(0), Config{})
 	src := `
 main:
@@ -57,7 +57,7 @@ loop:
 
 func TestLegacyUntrustedCostsMore(t *testing.T) {
 	run := func(untrusted bool, kind ExitKind) sim.Cycles {
-		m := machine.NewDefault()
+		m := machine.New()
 		if untrusted {
 			AttachLegacyUntrusted(m.Core(0), Config{})
 		} else {
@@ -89,7 +89,7 @@ main:
 }
 
 func TestLegacyIOExitCounted(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	h := AttachLegacy(m.Core(0), Config{})
 	prog := asm.MustAssemble("g", "main:\n\tmovi r1, 2\n\tvmcall\n\thalt")
 	m.Core(0).BindProgram(0, prog, "main")
@@ -102,7 +102,7 @@ func TestLegacyIOExitCounted(t *testing.T) {
 }
 
 func TestNocsHypervisorHandlesExits(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	prog := asm.MustAssemble("g", `
 main:
@@ -139,7 +139,7 @@ func TestNocsHypervisorPrivilegedInstructionExit(t *testing.T) {
 	// A guest executing wrmsr exits via descriptor; the hypervisor emulates
 	// and resumes it. The exit reason register holds whatever is in r1 —
 	// here ExitCPU by construction.
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	prog := asm.MustAssemble("g", `
 main:
@@ -166,7 +166,7 @@ main:
 
 func TestNocsUntrustedIOChain(t *testing.T) {
 	// I/O exit: guest -> hypervisor thread -> kernel thread -> guest.
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	prog := asm.MustAssemble("g", `
 main:
@@ -200,7 +200,7 @@ main:
 }
 
 func TestNocsMultipleGuests(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	prog := asm.MustAssemble("g", `
 main:
@@ -233,7 +233,7 @@ main:
 }
 
 func TestServeGuestsBadPtid(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	if _, err := ServeGuests(k, []hwthread.PTID{999}, 0x90000, 0, Config{}); err == nil {
 		t.Fatal("bad guest ptid accepted")
@@ -244,7 +244,7 @@ func TestNocsChainFasterThanLegacyUntrusted(t *testing.T) {
 	// The paper's F11 shape: the deprivileged hw-thread chain must beat the
 	// deprivileged legacy hypervisor.
 	legacy := func() sim.Cycles {
-		m := machine.NewDefault()
+		m := machine.New()
 		AttachLegacyUntrusted(m.Core(0), Config{})
 		prog := asm.MustAssemble("g", "main:\n\tmovi r1, 2\n\tvmcall\n\thalt")
 		m.Core(0).BindProgram(0, prog, "main")
@@ -254,7 +254,7 @@ func TestNocsChainFasterThanLegacyUntrusted(t *testing.T) {
 		return m.Now() - start
 	}()
 	nocs := func() sim.Cycles {
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		prog := asm.MustAssemble("g", "main:\n\tmovi r1, 2\n\tvmcall\n\thalt")
 		m.Core(0).BindProgram(0, prog, "main")
@@ -273,7 +273,7 @@ func TestNocsChainFasterThanLegacyUntrusted(t *testing.T) {
 func TestGuestThreadManagementHypercall(t *testing.T) {
 	// §3's virtualization story: vcpu0 asks the hypervisor to map vtid 5 to
 	// its own vcpu1, then starts vcpu1 NATIVELY — no further exits.
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	vcpu0 := asm.MustAssemble("vcpu0", `
 main:
@@ -319,7 +319,7 @@ fail:
 }
 
 func TestGuestHypercallValidation(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	guest := asm.MustAssemble("g", `
 main:
@@ -343,7 +343,7 @@ main:
 		t.Fatalf("bad hypercall returned %d, want -1", got)
 	}
 	// Without GuestTDTBase the hypercall is refused too.
-	m2 := machine.NewDefault()
+	m2 := machine.New()
 	k2 := kernel.NewNocs(m2.Core(0))
 	m2.Core(0).BindProgram(0, guest, "main")
 	if _, err := ServeGuests(k2, []hwthread.PTID{0}, 0x900000, 0, Config{}); err != nil {

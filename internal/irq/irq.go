@@ -23,6 +23,7 @@ import (
 
 	"nocs/internal/hwthread"
 	"nocs/internal/sim"
+	"nocs/internal/trace"
 )
 
 // Vector is an interrupt vector number (index into the IDT).
@@ -86,6 +87,12 @@ type victimKey struct {
 	victim hwthread.PTID
 }
 
+// vecTrace is the lazily-created per-vector trace track.
+type vecTrace struct {
+	track trace.TrackID
+	name  string
+}
+
 // Controller is the machine's legacy interrupt controller.
 type Controller struct {
 	eng   *sim.Engine
@@ -93,6 +100,13 @@ type Controller struct {
 	idt   map[Vector]idtEntry
 
 	busyUntil map[victimKey]sim.Cycles
+
+	// Tracing (nil tr = off): each vector gets its own track; a raise emits
+	// an instant plus a flow arrow to the delivery span (entry+handler+exit).
+	tr        *trace.Tracer
+	trProcess string
+	trVecs    map[Vector]vecTrace
+	trIPI     trace.TrackID
 
 	raised    uint64
 	delivered uint64
@@ -112,6 +126,27 @@ func NewController(eng *sim.Engine, costs Costs) *Controller {
 
 // Costs returns the effective cost table.
 func (c *Controller) Costs() Costs { return c.costs }
+
+// SetTracer attaches a tracer; process names the track group. Vector tracks
+// are created on first raise, in raise order (deterministic per run).
+func (c *Controller) SetTracer(tr *trace.Tracer, process string) {
+	c.tr = tr
+	c.trProcess = process
+	if tr != nil {
+		c.trVecs = make(map[Vector]vecTrace)
+	}
+}
+
+// vecTrack returns (creating on demand) vector v's trace track.
+func (c *Controller) vecTrack(v Vector) vecTrace {
+	vt, ok := c.trVecs[v]
+	if !ok {
+		name := fmt.Sprintf("irq%d", v)
+		vt = vecTrace{track: c.tr.NewTrack(c.trProcess, name), name: name}
+		c.trVecs[v] = vt
+	}
+	return vt
+}
 
 // Register installs a handler for vector v, delivered to the victim thread
 // on the given core. Re-registering replaces the entry (drivers do this on
@@ -148,6 +183,14 @@ func (c *Controller) Raise(v Vector) sim.Cycles {
 		return 0
 	}
 	key := victimKey{core: e.core, victim: e.victim}
+	var flow trace.FlowID
+	var vt vecTrace
+	if c.tr != nil {
+		vt = c.vecTrack(v)
+		flow = c.tr.NewFlow()
+		c.tr.Instant(vt.track, "raise", int64(c.eng.Now()))
+		c.tr.FlowStart(vt.track, vt.name, int64(c.eng.Now()), flow)
+	}
 	var deliver func()
 	deliver = func() {
 		if bu := c.busyUntil[key]; bu > c.eng.Now() {
@@ -163,6 +206,10 @@ func (c *Controller) Raise(v Vector) sim.Cycles {
 		c.busyUntil[key] = start + cost
 		e.core.InjectDelay(e.victim, cost)
 		c.delivered++
+		if c.tr != nil {
+			c.tr.Complete(vt.track, vt.name, int64(start), int64(cost))
+			c.tr.FlowEnd(vt.track, vt.name, int64(start), flow)
+		}
 	}
 	c.eng.After(c.costs.Controller, fmt.Sprintf("irq%d", v), deliver)
 	earliest := c.eng.Now() + c.costs.Controller
@@ -178,6 +225,12 @@ func (c *Controller) Raise(v Vector) sim.Cycles {
 func (c *Controller) SendIPI(sender CoreTarget, senderThread hwthread.PTID,
 	receiver CoreTarget, receiverThread hwthread.PTID, fn func() sim.Cycles) {
 	c.ipis++
+	if c.tr != nil && c.trIPI == 0 {
+		c.trIPI = c.tr.NewTrack(c.trProcess, "ipi")
+	}
+	if c.tr != nil {
+		c.tr.Instant(c.trIPI, "ipi-send", int64(c.eng.Now()))
+	}
 	sender.InjectDelay(senderThread, c.costs.IPISend)
 	c.eng.After(c.costs.IPISend, "ipi", func() {
 		receiver.WakeFromHalt(receiverThread)
@@ -186,6 +239,12 @@ func (c *Controller) SendIPI(sender CoreTarget, senderThread hwthread.PTID,
 			cost += fn()
 		}
 		receiver.InjectDelay(receiverThread, cost)
+		if c.tr != nil {
+			// An instant, not a span: concurrent IPIs to one receiver may
+			// overlap, and overlap would violate the per-track nesting
+			// invariant CheckNesting enforces.
+			c.tr.Instant(c.trIPI, "ipi-receive", int64(c.eng.Now()))
+		}
 	})
 }
 

@@ -15,7 +15,7 @@ import (
 
 func blockRig(t *testing.T, slots int) (*machine.Machine, *kernel.BlockDev) {
 	t.Helper()
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	ssd, err := m.NewSSD(device.SSDConfig{
 		SQBase: 0x400000, CQBase: 0x410000,
@@ -34,7 +34,7 @@ func blockRig(t *testing.T, slots int) (*machine.Machine, *kernel.BlockDev) {
 }
 
 func TestBlockDevValidation(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	ssd, err := m.NewSSD(device.SSDConfig{
 		SQBase: 0x400000, CQBase: 0x410000,

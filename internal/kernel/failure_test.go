@@ -18,12 +18,15 @@ import (
 // no event may be lost, and the machine must stay healthy.
 
 func TestServiceStopAndRestartRecoversBacklog(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
-	nic := m.NewNIC(device.NICConfig{
+	nic, err := m.NewNIC(device.NICConfig{
 		RingBase: 0x100000, BufBase: 0x200000,
 		TailAddr: 0x300000, HeadAddr: 0x300008,
 	}, device.Signal{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var seqs []int64
 	svc, err := k.ServeDevice("rx", nic.TailAddr(), 0x300008, 100,
 		func(seq int64, at sim.Cycles) { seqs = append(seqs, seq) })
@@ -78,7 +81,7 @@ func TestSyscallServiceCrashStrandsUsersButNotMachine(t *testing.T) {
 	// If the syscall service dies, users block forever on their syscalls —
 	// a hang, not a machine fault — and restarting the service drains the
 	// stranded descriptors.
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	k.RegisterSyscall(1, func(tc *hwthread.Context, args [4]int64) (int64, sim.Cycles) {
 		return args[0] + 1, 50

@@ -12,7 +12,7 @@ import (
 )
 
 func TestLegacySyscallTable(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewLegacy(m.Core(0))
 	k.RegisterSyscall(7, func(tc *hwthread.Context, args [4]int64) (int64, sim.Cycles) {
 		return args[0] + args[1], 200
@@ -43,7 +43,7 @@ main:
 }
 
 func TestLegacyUnknownSyscall(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewLegacy(m.Core(0))
 	user := asm.MustAssemble("u", "main:\n\tmovi r1, 99\n\tsyscall\n\tmov r6, r1\n\thalt")
 	m.Core(0).BindProgram(0, user, "main")
@@ -59,15 +59,18 @@ func TestLegacyUnknownSyscall(t *testing.T) {
 }
 
 func TestLegacyNICIRQServesPackets(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewLegacy(m.Core(0))
-	nic := m.NewNIC(device.NICConfig{
+	nic, err := m.NewNIC(device.NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000,
 		TailAddr: 0x30000, HeadAddr: 0x30008,
 	}, device.Signal{IRQ: m.IRQ(), Vector: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var seqs []int64
-	err := k.ServeNICWithIRQ(m.IRQ(), 33, 0, nic.TailAddr(), 0x30008, 150,
+	err = k.ServeNICWithIRQ(m.IRQ(), 33, 0, nic.TailAddr(), 0x30008, 150,
 		func(seq int64, at sim.Cycles) { seqs = append(seqs, seq) })
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +104,7 @@ loop:
 }
 
 func TestFlexSCEndToEnd(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewLegacy(m.Core(0))
 	k.RegisterSyscall(1, func(tc *hwthread.Context, args [4]int64) (int64, sim.Cycles) {
 		return args[0] * 2, 100
@@ -136,7 +139,7 @@ func TestFlexSCEndToEnd(t *testing.T) {
 }
 
 func TestFlexSCUnknownSyscall(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewLegacy(m.Core(0))
 	f := NewFlexSC(k, 0x70000, 4)
 	worker := asm.MustAssemble("w", f.WorkerProgramSource())
@@ -152,7 +155,7 @@ func TestFlexSCUnknownSyscall(t *testing.T) {
 }
 
 func TestNocsServeSyscallsEndToEnd(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	k.RegisterSyscall(7, func(tc *hwthread.Context, args [4]int64) (int64, sim.Cycles) {
 		return args[0] + args[1], 200
@@ -194,7 +197,7 @@ main:
 }
 
 func TestNocsServeSyscallsMultipleUsersRepeated(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	k.RegisterSyscall(1, func(tc *hwthread.Context, args [4]int64) (int64, sim.Cycles) {
 		return args[0] + 1, 50
@@ -240,7 +243,7 @@ loop:
 }
 
 func TestNocsUnknownSyscallReturnsMinusOne(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	k.ServeSyscalls([]hwthread.PTID{0}, 0x80000)
 	user := asm.MustAssemble("u", "main:\n\tmovi r1, 123\n\tsyscall\n\tmov r6, r1\n\thalt")
@@ -258,12 +261,15 @@ func TestNocsUnknownSyscallReturnsMinusOne(t *testing.T) {
 }
 
 func TestNocsServeDevice(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
-	nic := m.NewNIC(device.NICConfig{
+	nic, err := m.NewNIC(device.NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000,
 		TailAddr: 0x30000, HeadAddr: 0x30008,
 	}, device.Signal{}) // no IRQ: pure monitor path
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var seqs []int64
 	if _, err := k.ServeDevice("nic-rx", nic.TailAddr(), 0x30008, 150,
@@ -289,17 +295,20 @@ func TestNocsServeDevice(t *testing.T) {
 }
 
 func TestNocsServeDeviceBatchesBursts(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	count := 0
 	k.ServeDevice("burst", 0x30000, 0x30008, 10,
 		func(seq int64, at sim.Cycles) { count++ })
 	m.Run(0)
 	// Burst of 5 arrives while the service processes the first: all drained.
-	nic := m.NewNIC(device.NICConfig{
+	nic, err := m.NewNIC(device.NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000,
 		TailAddr: 0x30000, HeadAddr: 0x30008,
 	}, device.Signal{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
 		nic.Deliver([]int64{1})
 	}
@@ -310,7 +319,7 @@ func TestNocsServeDeviceBatchesBursts(t *testing.T) {
 }
 
 func TestAllocPtidExhaustion(t *testing.T) {
-	m := machine.New(machine.Config{Cores: 1, DMAMonitorVisible: true})
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	n := m.Core(0).Threads().Len()
 	for i := 0; i < n; i++ {
@@ -324,7 +333,7 @@ func TestAllocPtidExhaustion(t *testing.T) {
 }
 
 func TestRequestRunnerCompletesAndShares(t *testing.T) {
-	m := machine.New(machine.Config{Cores: 1, DMAMonitorVisible: true})
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	r := k.NewRequestRunner(100)
 
@@ -339,7 +348,7 @@ func TestRequestRunnerCompletesAndShares(t *testing.T) {
 	solo := done[0]
 
 	// Same demand with 7 siblings on 2 slots: each runs ~4x slower.
-	m2 := machine.New(machine.Config{Cores: 1, DMAMonitorVisible: true})
+	m2 := machine.New()
 	k2 := NewNocs(m2.Core(0))
 	r2 := k2.NewRequestRunner(100)
 	var last sim.Cycles
@@ -362,7 +371,7 @@ func TestRequestRunnerCompletesAndShares(t *testing.T) {
 }
 
 func TestRequestRunnerErrors(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	r := k.NewRequestRunner(0) // clamps to default
 	if err := r.Start(999, 100, nil); err == nil {
@@ -377,7 +386,7 @@ func TestRequestRunnerErrors(t *testing.T) {
 }
 
 func TestSoftSchedulerSwaps(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	c := m.Core(0)
 	s := NewSoftScheduler(c, 0)
 	progA := asm.MustAssemble("a", "main:\n\tmovi r5, 1\n\thalt")
@@ -418,7 +427,7 @@ func TestSoftSchedulerSwaps(t *testing.T) {
 }
 
 func TestSoftSchedulerRejectsRunnableSwap(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	c := m.Core(0)
 	s := NewSoftScheduler(c, 0)
 	prog := asm.MustAssemble("a", "main:\n\tjmp main")

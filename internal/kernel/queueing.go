@@ -22,10 +22,47 @@ package kernel
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
 
 	"nocs/internal/sim"
+	"nocs/internal/trace"
 	"nocs/internal/workload"
 )
+
+// laneSet places request spans onto "req-lane-N" tracks. Requests overlap
+// freely inside a queueing server, but spans on one Chrome-trace track must
+// nest, so each span goes to the first lane whose previous span has already
+// finished (greedy first-fit); a new lane is opened only when every existing
+// lane is busy. Spans arrive in completion order, not start order, so the
+// lane count can slightly exceed the peak span concurrency — analyses should
+// sweep the spans themselves, not count lanes.
+type laneSet struct {
+	tr      *trace.Tracer
+	process string
+	lanes   []trace.TrackID
+	busy    []int64 // per-lane finish time of the last span placed
+}
+
+func (l *laneSet) span(name, arg string, start, finish int64) {
+	if l == nil {
+		return
+	}
+	lane := -1
+	for i, b := range l.busy {
+		if b <= start {
+			lane = i
+			break
+		}
+	}
+	if lane < 0 {
+		lane = len(l.lanes)
+		l.lanes = append(l.lanes, l.tr.NewTrack(l.process, "req-lane-"+strconv.Itoa(lane)))
+		l.busy = append(l.busy, 0)
+	}
+	l.busy[lane] = finish
+	l.tr.CompleteArg(l.lanes[lane], name, arg, start, finish-start)
+}
 
 // Completion reports one finished request.
 type Completion struct {
@@ -55,6 +92,7 @@ type FCFSServer struct {
 	queue []workload.Request
 	busy  int
 	done  uint64
+	lanes *laneSet
 }
 
 // NewFCFS builds an FCFS server pool.
@@ -67,6 +105,15 @@ func NewFCFS(eng *sim.Engine, k int, overhead sim.Cycles, onComplete func(Comple
 
 // Name identifies the discipline.
 func (s *FCFSServer) Name() string { return "legacy-fcfs" }
+
+// EnableTrace records one service span per request (dispatch through
+// completion, overhead included) on greedy lanes under process. With K
+// servers at most K lanes ever open.
+func (s *FCFSServer) EnableTrace(tr *trace.Tracer, process string) {
+	if tr.Enabled() {
+		s.lanes = &laneSet{tr: tr, process: process}
+	}
+}
 
 // Submit schedules the arrival.
 func (s *FCFSServer) Submit(r workload.Request) {
@@ -88,6 +135,10 @@ func (s *FCFSServer) dispatch() {
 		s.eng.After(total, "fcfs-done", func() {
 			s.busy--
 			s.done++
+			if s.lanes != nil {
+				now := int64(s.eng.Now())
+				s.lanes.span("service", "req"+strconv.Itoa(r.ID), now-int64(total), now)
+			}
 			if s.OnComplete != nil {
 				s.OnComplete(Completion{Req: r, Finish: s.eng.Now(), Latency: s.eng.Now() - r.Arrival})
 			}
@@ -119,6 +170,10 @@ type PSServer struct {
 	nextEv     sim.Handle
 	nextTarget *psReq
 	done       uint64
+
+	lanes    *laneSet
+	tr       *trace.Tracer
+	activeTk trace.TrackID
 }
 
 type psReq struct {
@@ -138,6 +193,22 @@ func NewPS(eng *sim.Engine, c int, overhead sim.Cycles, onComplete func(Completi
 // Name identifies the discipline.
 func (s *PSServer) Name() string { return "nocs-ps" }
 
+// EnableTrace records one sojourn span per request (arrival through
+// completion) on greedy lanes under process, plus an "active" counter. Under
+// overload the sojourn spans stack deeper than C — visibly interleaved
+// service, where FCFS lanes would cap at K.
+func (s *PSServer) EnableTrace(tr *trace.Tracer, process string) {
+	if tr.Enabled() {
+		s.lanes = &laneSet{tr: tr, process: process}
+		s.tr = tr
+		s.activeTk = tr.NewTrack(process, "active")
+	}
+}
+
+func (s *PSServer) traceActive() {
+	s.tr.Count(s.activeTk, "active", int64(s.eng.Now()), int64(len(s.active)))
+}
+
 // Completed returns the number of finished requests.
 func (s *PSServer) Completed() uint64 { return s.done }
 
@@ -153,6 +224,7 @@ func (s *PSServer) Submit(r workload.Request) {
 			return
 		}
 		s.admit(r)
+		s.traceActive()
 		s.reschedule()
 	})
 }
@@ -218,14 +290,25 @@ func (s *PSServer) OnEvent() {
 	s.nextEv = sim.NoEvent
 	s.nextTarget = nil
 	s.advance()
-	// Complete everything at or below zero (simultaneous finishers).
+	// Complete everything at or below zero (simultaneous finishers). Collect
+	// first and sort by ID: map order must not leak into completion order or
+	// the trace would be nondeterministic.
+	var finished []*psReq
 	for id, a := range s.active {
 		if a.remaining <= 1e-9 || a == target {
 			delete(s.active, id)
-			s.done++
-			if s.OnComplete != nil {
-				s.OnComplete(Completion{Req: a.r, Finish: s.eng.Now(), Latency: s.eng.Now() - a.r.Arrival})
-			}
+			finished = append(finished, a)
+		}
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].r.ID < finished[j].r.ID })
+	for _, a := range finished {
+		s.done++
+		if s.lanes != nil {
+			s.lanes.span("sojourn", "req"+strconv.Itoa(a.r.ID),
+				int64(a.r.Arrival), int64(s.eng.Now()))
+		}
+		if s.OnComplete != nil {
+			s.OnComplete(Completion{Req: a.r, Finish: s.eng.Now(), Latency: s.eng.Now() - a.r.Arrival})
 		}
 	}
 	// Admit queued arrivals into freed hardware threads.
@@ -233,6 +316,7 @@ func (s *PSServer) OnEvent() {
 		s.admit(s.pending[0])
 		s.pending = s.pending[1:]
 	}
+	s.traceActive()
 	s.reschedule()
 }
 
@@ -252,6 +336,7 @@ type TimesliceServer struct {
 	busy   int
 	done   uint64
 	sswaps uint64
+	lanes  *laneSet
 }
 
 type tsReq struct {
@@ -272,6 +357,15 @@ func NewTimeslice(eng *sim.Engine, k int, quantum, switchCost sim.Cycles, onComp
 
 // Name identifies the discipline.
 func (s *TimesliceServer) Name() string { return "legacy-timeslice" }
+
+// EnableTrace records one span per quantum (switch cost included) on greedy
+// lanes under process, exposing the preemption pattern: a long request shows
+// as a row of slices with other requests' slices interleaved between them.
+func (s *TimesliceServer) EnableTrace(tr *trace.Tracer, process string) {
+	if tr.Enabled() {
+		s.lanes = &laneSet{tr: tr, process: process}
+	}
+}
 
 // Completed returns finished request count; Switches the context switches.
 func (s *TimesliceServer) Completed() uint64 { return s.done }
@@ -306,6 +400,10 @@ func (s *TimesliceServer) runSlice(req *tsReq) {
 	// context switch even when resuming the same request after others ran).
 	s.sswaps++
 	s.eng.After(s.SwitchCost+slice, "ts-slice", func() {
+		if s.lanes != nil {
+			now := int64(s.eng.Now())
+			s.lanes.span("slice", "req"+strconv.Itoa(req.r.ID), now-int64(s.SwitchCost+slice), now)
+		}
 		req.remaining -= slice
 		s.busy--
 		if req.remaining <= 0 {

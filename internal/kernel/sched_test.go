@@ -3,7 +3,6 @@ package kernel
 import (
 	"testing"
 
-	"nocs/internal/core"
 	"nocs/internal/hwthread"
 	"nocs/internal/machine"
 	"nocs/internal/sim"
@@ -11,11 +10,7 @@ import (
 
 func schedRig(t *testing.T, workers int) (*machine.Machine, *Scheduler) {
 	t.Helper()
-	m := machine.New(machine.Config{
-		Cores:             1,
-		DMAMonitorVisible: true,
-		Core:              core.Config{Threads: 64, Slots: 2},
-	})
+	m := machine.New(machine.WithThreads(64), machine.WithSMTSlots(2))
 	k := NewNocs(m.Core(0))
 	ws := make([]hwthread.PTID, workers)
 	for i := range ws {
@@ -30,7 +25,7 @@ func schedRig(t *testing.T, workers int) (*machine.Machine, *Scheduler) {
 }
 
 func TestSchedulerValidation(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := NewNocs(m.Core(0))
 	if _, err := NewScheduler(k, nil, 0x700000, 200); err == nil {
 		t.Fatal("empty worker set accepted")

@@ -2,6 +2,15 @@
 // event engine, physical memory with the generalized monitor engine
 // attached, a legacy interrupt controller, N cores, and device constructors
 // that wire DMA ports and MMIO windows correctly.
+//
+// Machines are built with functional options:
+//
+//	m := machine.New(machine.WithCores(2), machine.WithSMTSlots(4))
+//
+// A zero-argument New() gives the paper-default system: one core, two SMT
+// slots, 64 hardware threads, DMA-visible monitoring. Attach a tracer with
+// WithTracer to record a Chrome-trace timeline of the run (see
+// internal/trace).
 package machine
 
 import (
@@ -13,9 +22,12 @@ import (
 	"nocs/internal/mem"
 	"nocs/internal/monitor"
 	"nocs/internal/sim"
+	"nocs/internal/trace"
 )
 
-// Config describes a machine.
+// Config describes a machine. Most callers should use New with options
+// rather than filling this in directly; WithConfig is the escape hatch for
+// fully hand-built configurations.
 type Config struct {
 	// Cores is the number of CPU cores (default 1).
 	Cores int
@@ -27,7 +39,52 @@ type Config struct {
 	DMAMonitorVisible bool
 	// IRQ configures the legacy interrupt controller costs.
 	IRQ irq.Costs
+	// Tracer, when non-nil, records engine dispatch, monitor arm/fire,
+	// IRQ delivery, per-ptid state spans, and device DMA on a shared
+	// timeline. Nil (the default) costs nothing on the hot paths.
+	Tracer *trace.Tracer
+	// Name prefixes this machine's trace track groups (default "machine"),
+	// so several machines can share one tracer without colliding.
+	Name string
 }
+
+// Option customizes a machine under construction.
+type Option func(*Config)
+
+// WithCores sets the number of CPU cores.
+func WithCores(n int) Option { return func(c *Config) { c.Cores = n } }
+
+// WithSMTSlots sets the per-core SMT issue width shared by runnable ptids.
+func WithSMTSlots(k int) Option { return func(c *Config) { c.Core.Slots = k } }
+
+// WithThreads sets the per-core hardware thread (ptid) count.
+func WithThreads(n int) Option { return func(c *Config) { c.Core.Threads = n } }
+
+// WithCoreConfig replaces the whole per-core template (ID is still
+// overridden per core).
+func WithCoreConfig(cc core.Config) Option { return func(c *Config) { c.Core = cc } }
+
+// WithCosts sets the architectural transition cost table.
+func WithCosts(costs core.CostConfig) Option { return func(c *Config) { c.Core.Costs = costs } }
+
+// WithDMAMonitorVisible controls whether device writes trigger monitor
+// wakeups (the A2 ablation knob; default true).
+func WithDMAMonitorVisible(v bool) Option { return func(c *Config) { c.DMAMonitorVisible = v } }
+
+// WithIRQCosts sets the legacy interrupt controller cost table.
+func WithIRQCosts(costs irq.Costs) Option { return func(c *Config) { c.IRQ = costs } }
+
+// WithTracer attaches a tracer to every layer of the machine.
+func WithTracer(t *trace.Tracer) Option { return func(c *Config) { c.Tracer = t } }
+
+// WithName sets the machine's trace name prefix.
+func WithName(n string) Option { return func(c *Config) { c.Name = n } }
+
+// WithConfig replaces the entire configuration — the escape hatch for
+// callers that build a Config by hand. Apply it first if combined with
+// other options, since it overwrites all previous settings (including the
+// defaults New starts from).
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
 
 // Machine is a complete simulated system.
 type Machine struct {
@@ -36,12 +93,26 @@ type Machine struct {
 	mon   *monitor.Engine
 	irq   *irq.Controller
 	cores []*core.Core
+
+	tr   *trace.Tracer
+	name string
+	// Per-kind device counters, used only to name trace tracks
+	// ("nic0", "timer1", ...).
+	nNIC, nTimer, nSSD int
 }
 
-// New builds a machine.
-func New(cfg Config) *Machine {
+// New builds a machine from the paper defaults (one core, DMA-visible
+// monitoring) modified by the given options.
+func New(opts ...Option) *Machine {
+	cfg := Config{Cores: 1, DMAMonitorVisible: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
+	}
+	if cfg.Name == "" {
+		cfg.Name = "machine"
 	}
 	eng := sim.NewEngine(nil)
 	m := mem.NewMemory()
@@ -49,14 +120,26 @@ func New(cfg Config) *Machine {
 	mon.DMAVisible = cfg.DMAMonitorVisible
 	m.AddObserver(mon)
 	mach := &Machine{
-		eng: eng,
-		mem: m,
-		mon: mon,
-		irq: irq.NewController(eng, cfg.IRQ),
+		eng:  eng,
+		mem:  m,
+		mon:  mon,
+		irq:  irq.NewController(eng, cfg.IRQ),
+		tr:   cfg.Tracer,
+		name: cfg.Name,
+	}
+	if tr := cfg.Tracer; tr != nil {
+		now := func() int64 { return int64(eng.Now()) }
+		eng.SetTracer(tr, tr.NewTrack(cfg.Name+"/engine", "dispatch"))
+		mon.SetTracer(tr, now, cfg.Name+"/monitor")
+		mach.irq.SetTracer(tr, cfg.Name+"/irq")
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		cc := cfg.Core
 		cc.ID = i
+		if cfg.Tracer != nil {
+			cc.Tracer = cfg.Tracer
+			cc.TraceName = fmt.Sprintf("%s/core%d", cfg.Name, i)
+		}
 		mach.cores = append(mach.cores, core.New(cc, eng, m, mon))
 	}
 	return mach
@@ -64,8 +147,10 @@ func New(cfg Config) *Machine {
 
 // NewDefault builds a single-core machine with paper-default settings and
 // DMA-visible monitoring.
+//
+// Deprecated: use New() — the zero-option call builds the same machine.
 func NewDefault() *Machine {
-	return New(Config{Cores: 1, DMAMonitorVisible: true})
+	return New()
 }
 
 // Engine returns the shared event engine.
@@ -82,6 +167,9 @@ func (m *Machine) Monitor() *monitor.Engine { return m.mon }
 
 // IRQ returns the legacy interrupt controller.
 func (m *Machine) IRQ() *irq.Controller { return m.irq }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (m *Machine) Tracer() *trace.Tracer { return m.tr }
 
 // Cores returns the core count.
 func (m *Machine) Cores() int { return len(m.cores) }
@@ -120,28 +208,57 @@ func (m *Machine) Retired() uint64 {
 	return n
 }
 
-// NewNIC attaches a NIC with its own DMA port. If the config enables the
-// transmit side, the TX doorbell MMIO window is mapped too.
-func (m *Machine) NewNIC(cfg device.NICConfig, sig device.Signal) *device.NIC {
-	n := device.NewNIC(cfg, m.eng, mem.NewDMA(m.mem, mem.SrcDMA), sig)
+// wireDMA attaches the machine's tracer to a device DMA port, giving the
+// device its own track in the "<name>/devices" group.
+func (m *Machine) wireDMA(d *mem.DMA, devName string) {
+	if m.tr == nil {
+		return
+	}
+	track := m.tr.NewTrack(m.name+"/devices", devName)
+	d.SetTracer(m.tr, func() int64 { return int64(m.eng.Now()) }, track)
+}
+
+// NewNIC attaches a NIC with its own DMA port. The config is validated; if
+// it enables the transmit side, the TX doorbell MMIO window is mapped too.
+func (m *Machine) NewNIC(cfg device.NICConfig, sig device.Signal) (*device.NIC, error) {
+	dma := mem.NewDMA(m.mem, mem.SrcDMA)
+	n, err := device.NewNIC(cfg, m.eng, dma, sig)
+	if err != nil {
+		return nil, err
+	}
 	if db := n.Config().TXDoorbell; db != 0 {
 		if err := m.mem.MapMMIO(db, 8, n); err != nil {
-			panic(fmt.Sprintf("machine: mapping NIC TX doorbell: %v", err))
+			return nil, fmt.Errorf("machine: mapping NIC TX doorbell: %w", err)
 		}
 	}
-	return n
+	m.wireDMA(dma, fmt.Sprintf("nic%d", m.nNIC))
+	m.nNIC++
+	return n, nil
 }
 
 // NewTimer attaches a timer whose ticks are MSI-style memory writes.
-func (m *Machine) NewTimer(cfg device.TimerConfig, sig device.Signal) *device.Timer {
-	return device.NewTimer(cfg, m.eng, mem.NewDMA(m.mem, mem.SrcMSI), sig)
+func (m *Machine) NewTimer(cfg device.TimerConfig, sig device.Signal) (*device.Timer, error) {
+	dma := mem.NewDMA(m.mem, mem.SrcMSI)
+	t, err := device.NewTimer(cfg, m.eng, dma, sig)
+	if err != nil {
+		return nil, err
+	}
+	m.wireDMA(dma, fmt.Sprintf("timer%d", m.nTimer))
+	m.nTimer++
+	return t, nil
 }
 
 // NewSSD attaches an SSD and maps its doorbell MMIO window.
 func (m *Machine) NewSSD(cfg device.SSDConfig, sig device.Signal) (*device.SSD, error) {
-	ssd := device.NewSSD(cfg, m.eng, mem.NewDMA(m.mem, mem.SrcDMA), sig)
+	dma := mem.NewDMA(m.mem, mem.SrcDMA)
+	ssd, err := device.NewSSD(cfg, m.eng, dma, sig)
+	if err != nil {
+		return nil, err
+	}
 	if err := m.mem.MapMMIO(ssd.Config().DoorbellAddr, 8, ssd); err != nil {
 		return nil, fmt.Errorf("machine: mapping SSD doorbell: %w", err)
 	}
+	m.wireDMA(dma, fmt.Sprintf("ssd%d", m.nSSD))
+	m.nSSD++
 	return ssd, nil
 }

@@ -11,6 +11,7 @@ import (
 	"nocs/internal/irq"
 	"nocs/internal/mem"
 	"nocs/internal/sim"
+	"nocs/internal/trace"
 )
 
 func TestNewDefault(t *testing.T) {
@@ -29,8 +30,63 @@ func TestNewDefault(t *testing.T) {
 	}
 }
 
+func TestMachineOptionsCompose(t *testing.T) {
+	tr := trace.New()
+	m := New(
+		WithName("opt"),
+		WithCores(2),
+		WithThreads(8),
+		WithSMTSlots(2),
+		WithTracer(tr),
+	)
+	if m.Cores() != 2 {
+		t.Fatalf("cores %d", m.Cores())
+	}
+	if m.Tracer() != tr {
+		t.Fatal("tracer not attached")
+	}
+	if m.Core(1).Threads().Context(7) == nil || m.Core(1).Threads().Context(8) != nil {
+		t.Fatal("WithThreads(8) not applied")
+	}
+	// The tracer must be threaded through every layer under the "opt/"
+	// prefix; running a trivial program proves the wiring end to end.
+	prog := asm.MustAssemble("p", "main:\n\tmovi r1, 1\n\thalt")
+	m.Core(0).BindProgram(0, prog, "main")
+	m.Core(0).BootStart(0)
+	m.Run(0)
+	if tr.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	procs := map[string]bool{}
+	for _, tk := range tr.Tracks() {
+		if !strings.HasPrefix(tk.Process, "opt/") {
+			t.Fatalf("track process %q missing machine name prefix", tk.Process)
+		}
+		procs[tk.Process] = true
+	}
+	for _, want := range []string{"opt/engine", "opt/monitor", "opt/core0"} {
+		if !procs[want] {
+			t.Fatalf("no %q track group (have %v)", want, procs)
+		}
+	}
+	if err := tr.CheckNesting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineWithConfigIsOverriddenByLaterOptions(t *testing.T) {
+	m := New(WithConfig(Config{Cores: 4}), WithCores(2))
+	if m.Cores() != 2 {
+		t.Fatalf("cores %d: WithConfig must apply in option order", m.Cores())
+	}
+	// WithConfig wipes the defaults it doesn't set; Cores<=0 still recovers.
+	if m2 := New(WithConfig(Config{})); m2.Cores() != 1 {
+		t.Fatal("zero config did not recover a usable machine")
+	}
+}
+
 func TestMultiCoreSharedMemoryAndMonitor(t *testing.T) {
-	m := New(Config{Cores: 2, DMAMonitorVisible: true})
+	m := New(WithCores(2))
 	waiter := asm.MustAssemble("w", `
 main:
 	movi r1, 4096
@@ -67,7 +123,7 @@ main:
 }
 
 func TestDMAInvisibleMachine(t *testing.T) {
-	m := New(Config{Cores: 1, DMAMonitorVisible: false})
+	m := New(WithDMAMonitorVisible(false))
 	if m.Monitor().DMAVisible {
 		t.Fatal("A2 machine should hide DMA writes from monitor")
 	}
@@ -75,9 +131,12 @@ func TestDMAInvisibleMachine(t *testing.T) {
 
 func TestMachineNICDelivery(t *testing.T) {
 	m := NewDefault()
-	nic := m.NewNIC(device.NICConfig{
+	nic, err := m.NewNIC(device.NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,
 	}, device.Signal{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog := asm.MustAssemble("rx", `
 main:
 	movi r1, 0x30000
@@ -98,7 +157,10 @@ main:
 
 func TestMachineTimerWakesSchedulerThread(t *testing.T) {
 	m := NewDefault()
-	tm := m.NewTimer(device.TimerConfig{CounterAddr: 0x100, Period: 500}, device.Signal{})
+	tm, err := m.NewTimer(device.TimerConfig{CounterAddr: 0x100, Period: 500}, device.Signal{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog := asm.MustAssemble("sched", `
 main:
 	movi r1, 0x100
@@ -171,7 +233,7 @@ func TestMachineSSDDoorbellCollision(t *testing.T) {
 }
 
 func TestMachineFatalPropagates(t *testing.T) {
-	m := New(Config{Cores: 2, DMAMonitorVisible: true, Core: core.Config{Threads: 4}})
+	m := New(WithCores(2), WithCoreConfig(core.Config{Threads: 4}))
 	prog := asm.MustAssemble("f", "main:\n\tmovi r1, 1\n\tmovi r2, 0\n\tdiv r3, r1, r2\n\thalt")
 	m.Core(1).BindProgram(0, prog, "main")
 	m.Core(1).BootStart(0)
@@ -201,9 +263,12 @@ loop:
 			m.IRQ().Register(33, m.Core(0), 0, func(v irq.Vector, at sim.Cycles) sim.Cycles {
 				return 200 // handler body
 			})
-			nic := m.NewNIC(device.NICConfig{
+			nic, err := m.NewNIC(device.NICConfig{
 				RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,
 			}, device.Signal{IRQ: m.IRQ(), Vector: 33})
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i := 0; i < 5; i++ {
 				nic.Deliver([]int64{1})
 			}

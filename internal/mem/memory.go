@@ -15,7 +15,12 @@
 // Addresses are byte-granular; data accesses are 8-byte words.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+
+	"nocs/internal/trace"
+)
 
 // WriteSource identifies who performed a write, so observers (and
 // experiments) can distinguish CPU stores from device DMA.
@@ -145,6 +150,13 @@ func (m *Memory) Writes() (total, nonCPU uint64) { return m.writes, m.dmaWrites 
 type DMA struct {
 	mem *Memory
 	src WriteSource
+
+	// Tracing (nil tr = off): every write through this port emits an
+	// instant — "dma-write" for SrcDMA ports, "msi-write" for SrcMSI ones —
+	// on the device's track.
+	tr      *trace.Tracer
+	trNow   func() int64
+	trTrack trace.TrackID
 }
 
 // NewDMA returns a DMA port writing with the given source tag.
@@ -152,8 +164,26 @@ func NewDMA(mem *Memory, src WriteSource) *DMA {
 	return &DMA{mem: mem, src: src}
 }
 
+// SetTracer attaches a tracer to this port; now supplies the current cycle
+// and track is the device timeline to emit onto.
+func (d *DMA) SetTracer(tr *trace.Tracer, now func() int64, track trace.TrackID) {
+	d.tr = tr
+	d.trNow = now
+	d.trTrack = track
+}
+
 // Write performs a device write to physical memory.
-func (d *DMA) Write(addr, val int64) { d.mem.Write(addr, val, d.src) }
+func (d *DMA) Write(addr, val int64) {
+	if d.tr != nil {
+		name := "dma-write"
+		if d.src == SrcMSI {
+			name = "msi-write"
+		}
+		d.tr.InstantArg(d.trTrack, name,
+			"0x"+strconv.FormatInt(addr, 16)+"="+strconv.FormatInt(val, 10), d.trNow())
+	}
+	d.mem.Write(addr, val, d.src)
+}
 
 // Read performs a device read from physical memory.
 func (d *DMA) Read(addr int64) int64 { return d.mem.Read(addr) }

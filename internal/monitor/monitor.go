@@ -17,7 +17,10 @@
 package monitor
 
 import (
+	"strconv"
+
 	"nocs/internal/mem"
+	"nocs/internal/trace"
 )
 
 // Waiter is a hardware thread (or any component) that can block on watched
@@ -56,6 +59,14 @@ type Engine struct {
 	watchers map[Waiter]*watcherState
 	byAddr   map[int64]map[Waiter]bool
 
+	// Tracing (nil tr = off). Each delivered wakeup starts a flow on the
+	// monitor track and stashes its ID in the tracer; the core's synchronous
+	// wake path consumes the stash and terminates the flow on the woken
+	// ptid's track, drawing the arm→fire→resume chain in Perfetto.
+	tr      *trace.Tracer
+	trNow   func() int64
+	trTrack trace.TrackID
+
 	wakeups   uint64
 	immediate uint64 // mwait completed without blocking (pending write)
 	dropped   uint64 // writes invisible due to DMAVisible=false
@@ -72,6 +83,30 @@ func NewEngine() *Engine {
 }
 
 var _ mem.WriteObserver = (*Engine)(nil)
+
+// SetTracer attaches a tracer; now supplies the current cycle (the monitor
+// engine has no clock of its own) and process names the track group.
+func (e *Engine) SetTracer(tr *trace.Tracer, now func() int64, process string) {
+	e.tr = tr
+	e.trNow = now
+	if tr != nil {
+		e.trTrack = tr.NewTrack(process, "watches")
+	}
+}
+
+// traceFire records one wakeup delivery and stashes its flow for the core's
+// wake path to terminate on the ptid track.
+func (e *Engine) traceFire(addr int64, src mem.WriteSource, immediate bool) {
+	at := e.trNow()
+	arg := "0x" + strconv.FormatInt(addr, 16) + " " + src.String()
+	if immediate {
+		arg += " immediate"
+	}
+	e.tr.InstantArg(e.trTrack, "fire", arg, at)
+	f := e.tr.NewFlow()
+	e.tr.FlowStart(e.trTrack, "wake", at, f)
+	e.tr.StashFlow(f)
+}
 
 func (e *Engine) state(w Waiter) *watcherState {
 	s := e.watchers[w]
@@ -110,6 +145,9 @@ func (e *Engine) Arm(w Waiter, addr int64) {
 		e.byAddr[addr] = set
 	}
 	set[w] = true
+	if e.tr != nil {
+		e.tr.InstantArg(e.trTrack, "arm", "0x"+strconv.FormatInt(addr, 16), e.trNow())
+	}
 }
 
 // Armed reports how many addresses w currently watches.
@@ -137,7 +175,11 @@ func (e *Engine) Wait(w Waiter) (blocked bool) {
 		e.disarm(w, s)
 		e.immediate++
 		e.wakeups++
+		if e.tr != nil {
+			e.traceFire(addr, src, true)
+		}
 		w.MonitorWake(addr, val, src)
+		e.tr.StashFlow(0) // drop the flow if the waiter didn't consume it
 		return false
 	}
 	s.waiting = true
@@ -173,6 +215,10 @@ func (e *Engine) ObserveWrite(addr, val int64, src mem.WriteSource) {
 	if !e.DMAVisible && src != mem.SrcCPU {
 		if len(e.byAddr[addr]) > 0 {
 			e.dropped++
+			if e.tr != nil {
+				e.tr.InstantArg(e.trTrack, "dropped",
+					"0x"+strconv.FormatInt(addr, 16)+" "+src.String(), e.trNow())
+			}
 		}
 		return
 	}
@@ -201,7 +247,11 @@ func (e *Engine) ObserveWrite(addr, val int64, src mem.WriteSource) {
 		}
 		e.disarm(w, s)
 		e.wakeups++
+		if e.tr != nil {
+			e.traceFire(addr, src, false)
+		}
 		w.MonitorWake(addr, val, src)
+		e.tr.StashFlow(0) // drop the flow if the waiter didn't consume it
 	}
 }
 

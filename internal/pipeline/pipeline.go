@@ -28,8 +28,10 @@ package pipeline
 
 import (
 	"fmt"
+	"strconv"
 
 	"nocs/internal/sim"
+	"nocs/internal/trace"
 )
 
 type thread struct {
@@ -66,6 +68,15 @@ type Pipeline struct {
 	// a per-call map); batchBuf is the reused result buffer.
 	batchSeq uint64
 	batchBuf []int
+
+	// Tracing (nil tr = off; one pointer compare on the hot paths). Add and
+	// Remove sample the runnable-count and slot-occupancy counters; NextBatch
+	// stamps each issue turn onto its slot's track.
+	tr         *trace.Tracer
+	trNow      func() int64
+	trCounters trace.TrackID
+	trSlots    []trace.TrackID
+	turnNames  map[int]string
 }
 
 // New creates a pipeline with the given number of SMT issue slots
@@ -75,6 +86,44 @@ func New(slots int) *Pipeline {
 		slots = 2
 	}
 	return &Pipeline{slots: slots, index: make(map[int]int), epoch: 1}
+}
+
+// SetTracer attaches a tracer. now supplies the current cycle (the pipeline
+// has no clock of its own); process names the track group. Pass a nil tracer
+// to disable.
+func (p *Pipeline) SetTracer(tr *trace.Tracer, now func() int64, process string) {
+	p.tr = tr
+	p.trNow = now
+	if tr == nil {
+		return
+	}
+	p.trCounters = tr.NewTrack(process, "pipeline")
+	p.trSlots = make([]trace.TrackID, p.slots)
+	for i := range p.trSlots {
+		p.trSlots[i] = tr.NewTrack(process, "slot"+strconv.Itoa(i))
+	}
+	p.turnNames = make(map[int]string)
+}
+
+// traceCounters samples the runnable-count and slot-occupancy counters.
+func (p *Pipeline) traceCounters() {
+	at := p.trNow()
+	p.tr.Count(p.trCounters, "runnable", at, int64(len(p.threads)))
+	busy := len(p.threads)
+	if busy > p.slots {
+		busy = p.slots
+	}
+	p.tr.Count(p.trCounters, "slots-busy", at, int64(busy))
+}
+
+// turnName caches the per-thread issue-turn label.
+func (p *Pipeline) turnName(id int) string {
+	n, ok := p.turnNames[id]
+	if !ok {
+		n = "t" + strconv.Itoa(id)
+		p.turnNames[id] = n
+	}
+	return n
 }
 
 // Slots returns the SMT slot count.
@@ -105,6 +154,9 @@ func (p *Pipeline) Add(id, weight int) {
 	p.threads = append(p.threads, thread{id: id, weight: weight})
 	p.totalWeight += weight
 	p.epoch++
+	if p.tr != nil {
+		p.traceCounters()
+	}
 }
 
 // Remove takes thread id out of the runnable set. RR order of the surviving
@@ -131,6 +183,9 @@ func (p *Pipeline) Remove(id int) {
 		p.cursor %= len(p.threads)
 	}
 	p.epoch++
+	if p.tr != nil {
+		p.traceCounters()
+	}
 }
 
 // Contains reports whether id is runnable.
@@ -236,6 +291,12 @@ func (p *Pipeline) NextBatch() []int {
 		batch = append(batch, t.id)
 	}
 	p.batchBuf = batch
+	if p.tr != nil {
+		at := p.trNow()
+		for i, id := range batch {
+			p.tr.Instant(p.trSlots[i], p.turnName(id), at)
+		}
+	}
 	return batch
 }
 

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"nocs/internal/trace"
+)
 
 // Handle identifies a scheduled event. The zero Handle is invalid (never
 // returned by the engine), so a Handle field can be reset with plain
@@ -62,6 +66,12 @@ type Engine struct {
 	free  []int32
 	seq   uint64
 	ran   uint64
+
+	// tr, when non-nil, records an instant per dispatched event on trTrack.
+	// Nil (the default) costs one pointer compare per dispatch and nothing
+	// else — the zero-allocation guarantee is guard-tested.
+	tr      *trace.Tracer
+	trTrack trace.TrackID
 }
 
 // NewEngine creates an engine driving the given clock.
@@ -70,6 +80,13 @@ func NewEngine(clock *Clock) *Engine {
 		clock = NewClock()
 	}
 	return &Engine{clock: clock}
+}
+
+// SetTracer attaches a tracer; every dispatched event then emits an instant
+// named after the event onto the given track. Pass nil to disable.
+func (e *Engine) SetTracer(tr *trace.Tracer, track trace.TrackID) {
+	e.tr = tr
+	e.trTrack = track
 }
 
 // Clock returns the engine's clock.
@@ -253,6 +270,9 @@ func (e *Engine) Cancelled(h Handle) bool {
 func (e *Engine) runSlot(en heapEntry) {
 	sl := &e.slots[en.slot]
 	fn, cb := sl.fn, sl.cb
+	if e.tr != nil {
+		e.tr.Instant(e.trTrack, sl.name, int64(en.at))
+	}
 	e.release(en.slot)
 	e.ran++
 	if cb != nil {

@@ -197,6 +197,9 @@ func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
 // against regressions (ISSUE 1: ~33% of profile time was mallocgc).
 func TestEngineSchedulingAllocFree(t *testing.T) {
 	e := NewEngine(nil)
+	// A disabled tracer must not cost anything: the guards below run with it
+	// explicitly attached as nil, the state every untraced run is in.
+	e.SetTracer(nil, 0)
 	fn := func() {}
 	// Warm the arena and heap capacity.
 	for i := 0; i < 64; i++ {

@@ -11,7 +11,7 @@ import (
 )
 
 func TestMailboxServiceEndToEnd(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	svc, err := NewMailboxService(k, "fs", 0xB0000, 4, FSWork)
 	if err != nil {
@@ -48,7 +48,7 @@ main:
 }
 
 func TestMailboxServiceConcurrentClients(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	svc, err := NewMailboxService(k, "fs", 0xB0000, 4, FSWork)
 	if err != nil {
@@ -89,7 +89,7 @@ main:
 }
 
 func TestMailboxRepeatedCallsSameSlot(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	svc, err := NewMailboxService(k, "net", 0xB0000, 1, NetWork)
 	if err != nil {
@@ -125,7 +125,7 @@ loop:
 }
 
 func TestNewMailboxServiceValidation(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewNocs(m.Core(0))
 	if _, err := NewMailboxService(k, "x", 0xB0000, 0, FSWork); err == nil {
 		t.Fatal("zero slots accepted")
@@ -133,7 +133,7 @@ func TestNewMailboxServiceValidation(t *testing.T) {
 }
 
 func TestMonolithicRegistration(t *testing.T) {
-	m := machine.NewDefault()
+	m := machine.New()
 	k := kernel.NewLegacy(m.Core(0))
 	RegisterMonolithic(k, 10, FSWork)
 	prog := asm.MustAssemble("u", `
@@ -155,7 +155,7 @@ main:
 
 func TestLegacyIPCCostsMoreThanMonolithic(t *testing.T) {
 	run := func(register func(*kernel.Legacy)) sim.Cycles {
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		register(k)
 		prog := asm.MustAssemble("u", `
@@ -182,7 +182,7 @@ main:
 func TestDirectIPCFasterThanLegacyIPC(t *testing.T) {
 	// The F6 claim: direct hardware-thread IPC beats scheduler-mediated IPC.
 	legacy := func() sim.Cycles {
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewLegacy(m.Core(0))
 		RegisterLegacyIPC(k, 10, LegacyIPCCosts{}, FSWork)
 		prog := asm.MustAssemble("u", "main:\n\tmovi r1, 10\n\tmovi r2, 7\n\tmovi r3, 35\n\tsyscall\n\thalt")
@@ -192,7 +192,7 @@ func TestDirectIPCFasterThanLegacyIPC(t *testing.T) {
 		return m.Now()
 	}()
 	direct := func() sim.Cycles {
-		m := machine.NewDefault()
+		m := machine.New()
 		k := kernel.NewNocs(m.Core(0))
 		svc, _ := NewMailboxService(k, "fs", 0xB0000, 1, FSWork)
 		src := "main:\n\tmovi r2, 7\n\tmovi r3, 35\n" + ClientCallSource("fs") + "\thalt"

@@ -22,7 +22,7 @@ loop:
 	b.ResetTimer()
 	var retired uint64
 	for i := 0; i < b.N; i++ {
-		m := machine.NewDefault()
+		m := machine.New()
 		if err := m.Core(0).BindProgram(0, prog, "main"); err != nil {
 			b.Fatal(err)
 		}

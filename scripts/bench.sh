@@ -20,6 +20,10 @@ GOLDEN=results_full.txt
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
+# Correctness gate first (gofmt, vet, build, test -race); the golden diff is
+# skipped because this script runs it itself, timed, below.
+SKIP_GOLDEN=1 scripts/ci.sh
+
 echo "== build =="
 go build -o "$TMP/nocsim" ./cmd/nocsim
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's correctness gate. Run before every commit (and
+# from scripts/bench.sh, which adds the timing/benchmark layer on top):
+#
+#   1. gofmt           — no unformatted files
+#   2. go vet          — static checks
+#   3. go build        — every package, including examples and cmds
+#   4. go test -race   — the full suite under the race detector
+#   5. golden diff     — `nocsim -all` must be byte-identical to the
+#                        committed results_full.txt (skip with SKIP_GOLDEN=1
+#                        when the caller performs its own golden run)
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "FAIL: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "${SKIP_GOLDEN:-0}" != "1" ]; then
+    echo "== determinism: nocsim -all vs results_full.txt =="
+    TMP=$(mktemp -d)
+    trap 'rm -rf "$TMP"' EXIT
+    go build -o "$TMP/nocsim" ./cmd/nocsim
+    "$TMP/nocsim" -all > "$TMP/all.txt"
+    if ! diff -u results_full.txt "$TMP/all.txt" > "$TMP/diff.txt"; then
+        echo "FAIL: nocsim -all output differs from committed golden:" >&2
+        head -40 "$TMP/diff.txt" >&2
+        exit 1
+    fi
+    echo "   identical"
+fi
+
+echo "ci: all green"
