@@ -6,8 +6,15 @@
 //	nocsasm prog.asm                 # assemble + print disassembly
 //	nocsasm -run prog.asm            # also execute ptid 0 from "main"
 //	nocsasm -run -entry boot -trace 40 prog.asm
+//	nocsasm -diff repro.asm          # replay a differential-test case
 //	echo 'main: movi r1, 42
 //	      halt' | nocsasm -run -
+//
+// -diff replays a file dumped by the differential harness (see README
+// "Reproducing differential failures"): the `; nocs-*` directive comments
+// carry the full machine setup, and the program runs through both the
+// optimized engine and the reference interpreter. Exit status 1 means the
+// two implementations still disagree.
 //
 // When running, the program is bound to ptid 0; r14 is left zero; execution
 // ends when the event queue drains or -max-events fire. Final register
@@ -24,6 +31,8 @@ import (
 	"nocs/internal/core"
 	"nocs/internal/isa"
 	"nocs/internal/machine"
+	"nocs/internal/progen"
+	"nocs/internal/refmodel/diff"
 )
 
 func main() {
@@ -33,6 +42,7 @@ func main() {
 		trace     = flag.Int("trace", 0, "print the first N executed instructions")
 		maxEvents = flag.Int("max-events", 1_000_000, "abort after this many simulation events")
 		super     = flag.Bool("supervisor", false, "start the thread in supervisor mode")
+		diffRun   = flag.Bool("diff", false, "replay a differential repro (nocs-* directives) through engine and reference model")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -50,6 +60,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *diffRun {
+		runDiff(path, string(src))
+		return
 	}
 
 	prog, err := asm.Assemble(path, string(src))
@@ -99,6 +114,29 @@ func main() {
 	if *trace > 0 {
 		fmt.Printf("\n; trace (first %d):\n%s", *trace, tb.String())
 	}
+}
+
+// runDiff replays a differential test case dumped by internal/refmodel/diff.
+func runDiff(path, src string) {
+	spec, err := progen.ParseSpec(path, src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("; %s: seed=%d threads=%d slots=%d deadline=%d\n",
+		path, spec.Seed, spec.Threads, spec.Slots, spec.Deadline)
+	res, err := diff.Run(spec, diff.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if res.OK() {
+		fmt.Println("; engine and reference model agree")
+		return
+	}
+	fmt.Printf("; DIVERGENCE: %d fields differ\n", len(res.Divergences))
+	for _, d := range res.Divergences {
+		fmt.Printf(";   %s\n", d)
+	}
+	os.Exit(1)
 }
 
 func fatal(err error) {

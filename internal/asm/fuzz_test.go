@@ -1,0 +1,30 @@
+package asm
+
+import "testing"
+
+// FuzzAsmParse feeds arbitrary text to the assembler. Assemble must return
+// an error for bad input, never panic; assembled programs must disassemble
+// without panicking either (the printer walks every operand field).
+func FuzzAsmParse(f *testing.F) {
+	f.Add("main:\n\tmovi r1, 42\n\thalt\n")
+	f.Add("\tadd r1, r2, r3\n\tld r4, [r5+8]\n\tst [r6+16], r7\n")
+	f.Add("loop:\n\tbeq r1, r2, loop\n\tjal r15, loop\n\tjr r15\n")
+	f.Add("\tmonitor r7\n\tmwait\n\tstart r12\n\tstop r12\n")
+	f.Add("\trpull r12, r3, pc\n\trpush r12, edp, r3\n\tinvtid r12, r2\n")
+	f.Add("\tfmovi f0, 3\n\tfadd f1, f0, f0\n\tfmov f2, f1\n")
+	f.Add("\tsyscall\n\tsysret\n\tvmcall\n\tvmresume\n\tiret\n\thlt\n")
+	f.Add("\twrmsr r1, r2\n\trdmsr r3, r4\n\tint 3\n\tnative putc\n")
+	f.Add("; comment\n# also comment\nmain: nop\n")
+	f.Add("bad label: nop\n")
+	f.Add("\tmovi r1, 99999999999999999999999\n")
+	f.Add("\tld r1, [r2+\n")
+	f.Add("\tjmp undefined\n")
+	f.Add("a:\na:\n\tnop\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		_ = prog.Disassemble()
+	})
+}

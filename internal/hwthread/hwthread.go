@@ -341,6 +341,14 @@ func (m *Manager) Translate(caller *Context, vtid VTID) (Entry, *Fault) {
 		if !e.Valid() {
 			return Entry{}, &Fault{Cause: ExcTDTFault, Info: int64(vtid), Msg: fmt.Sprintf("invalid vtid %#x (cached)", int64(vtid))}
 		}
+		// Rows with out-of-range ptids are cached like any other (hardware
+		// caches whatever software wrote) but must fault on every use, not
+		// only the first: without this check a handler restarting the faulter
+		// would re-run the translation against the cached row and index the
+		// context table out of range.
+		if int(e.PTID) < 0 || int(e.PTID) >= len(m.contexts) {
+			return Entry{}, &Fault{Cause: ExcTDTFault, Info: int64(vtid), Msg: fmt.Sprintf("vtid %#x maps to out-of-range ptid %d (cached)", int64(vtid), e.PTID)}
+		}
 		return e, nil
 	}
 	base := caller.Regs.TDT

@@ -1,6 +1,7 @@
 package hwthread
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -144,45 +145,121 @@ func TestNonHierarchicalPrivilege(t *testing.T) {
 	}
 }
 
-func TestSupervisorBypass(t *testing.T) {
-	mgr, _ := setupTDT(t, 4)
-	sup := mgr.Context(0)
-	sup.Regs.Mode = 1
-	sup.Regs.TDT = 0x1000
-	// No TDT row at all, but write one with zero perms to give a mapping.
-	m := memOf(mgr)
-	WriteTDTEntry(m, 0x1000, 0, Entry{PTID: 2, Perm: 0})
-	// Supervisor still needs a *valid mapping*? No: an invalid row faults on
-	// translation even for supervisors (the mapping itself is absent).
-	if _, f := mgr.Start(sup, 0); f == nil {
-		t.Fatal("supervisor start through invalid mapping should fault")
+// TestPermissionMatrix drives every one of the 16 TDT permission nibbles
+// through every remote-operation class, in both user and supervisor mode:
+// 16 × 2 × 6 cells. The expected outcome is computable — an invalid row
+// (nibble 0b0000) faults on translation for everyone, a supervisor bypasses
+// the permission bits of any valid row, and a user succeeds iff the row
+// grants the operation's required bit — so the matrix subsumes the old
+// supervisor-bypass and single-nibble spot checks.
+func TestPermissionMatrix(t *testing.T) {
+	ops := []struct {
+		name string
+		need Perm
+		run  func(mgr *Manager, caller *Context) *Fault
+	}{
+		{"start", PermStart, func(mgr *Manager, caller *Context) *Fault {
+			_, f := mgr.Start(caller, 0)
+			return f
+		}},
+		{"stop", PermStop, func(mgr *Manager, caller *Context) *Fault {
+			_, f := mgr.Stop(caller, 0)
+			return f
+		}},
+		{"rpull-gpr", PermModifySome, func(mgr *Manager, caller *Context) *Fault {
+			_, f := mgr.Rpull(caller, 0, isa.R3)
+			return f
+		}},
+		{"rpush-gpr", PermModifySome, func(mgr *Manager, caller *Context) *Fault {
+			return mgr.Rpush(caller, 0, isa.R3, 7)
+		}},
+		{"rpull-control", PermModifyMost, func(mgr *Manager, caller *Context) *Fault {
+			_, f := mgr.Rpull(caller, 0, isa.PC)
+			return f
+		}},
+		{"rpush-control", PermModifyMost, func(mgr *Manager, caller *Context) *Fault {
+			return mgr.Rpush(caller, 0, isa.EDP, 0x4000)
+		}},
 	}
-	// With a mapping of minimal rights, supervisor bypasses permission bits.
-	sup.InvalidateVTID(0)
-	WriteTDTEntry(m, 0x1000, 0, Entry{PTID: 2, Perm: PermStart})
-	if _, f := mgr.Stop(sup, 0); f != nil {
-		t.Fatalf("supervisor stop bypassing perms: %v", f)
-	}
-	if f := mgr.Rpush(sup, 0, isa.TDT, 0x9000); f != nil {
-		t.Fatalf("supervisor TDT write: %v", f)
-	}
-	if mgr.Context(2).Regs.TDT != 0x9000 {
-		t.Fatal("TDT write did not land")
+	modes := []struct {
+		name  string
+		super bool
+	}{{"user", false}, {"supervisor", true}}
+
+	for perm := Perm(0); perm < 16; perm++ {
+		for _, mode := range modes {
+			for _, op := range ops {
+				t.Run(fmt.Sprintf("%v/%s/%s", perm, mode.name, op.name), func(t *testing.T) {
+					mgr, m := setupTDT(t, 4)
+					caller := mgr.Context(0)
+					if mode.super {
+						caller.Regs.Mode = 1
+					}
+					caller.Regs.TDT = 0x1000
+					WriteTDTEntry(m, 0x1000, 0, Entry{PTID: 2, Perm: perm})
+					target := mgr.Context(2)
+					if op.name == "stop" {
+						target.State = Runnable // the others need a disabled target
+					}
+					f := op.run(mgr, caller)
+					switch {
+					case perm == 0:
+						// Invalid row: translation faults even for supervisors.
+						if f == nil || f.Cause != ExcTDTFault {
+							t.Fatalf("invalid row: want TDT fault, got %v", f)
+						}
+					case mode.super || perm.Has(op.need):
+						if f != nil {
+							t.Fatalf("perm %v should allow %s: %v", perm, op.name, f)
+						}
+						switch op.name {
+						case "start":
+							if target.State != Runnable {
+								t.Fatal("start did not enable target")
+							}
+						case "stop":
+							if target.State != Disabled {
+								t.Fatal("stop did not disable target")
+							}
+						}
+					default:
+						if f == nil || f.Cause != ExcTDTFault {
+							t.Fatalf("perm %v must deny %s, got %v", perm, op.name, f)
+						}
+						if f.Info != int64(op.need) {
+							t.Fatalf("fault info = %#x, want required bits %#x", f.Info, int64(op.need))
+						}
+					}
+				})
+			}
+		}
 	}
 }
 
 // memOf digs the memory out of a manager for test convenience.
 func memOf(m *Manager) *mem.Memory { return m.mem }
 
-func TestTDTRegisterNeverUserWritable(t *testing.T) {
-	mgr, m := setupTDT(t, 4)
-	caller := mgr.Context(0)
-	grant(m, caller, 0x1000, 0, 2, PermAll) // even full TDT rights
-	if f := mgr.Rpush(caller, 0, isa.TDT, 0xdead); f == nil || f.Cause != ExcPrivilege {
-		t.Fatalf("user TDT write fault: %v", f)
-	}
-	if _, f := mgr.Rpull(caller, 0, isa.TDT); f == nil {
-		t.Fatal("user TDT read should fault")
+// TestTDTRegisterSupervisorOnly: the TDT register is outside the nibble's
+// reach entirely — no permission grant, not even 0b1111, lets a user thread
+// touch another thread's TDT, while a supervisor may through any valid row.
+func TestTDTRegisterSupervisorOnly(t *testing.T) {
+	for perm := Perm(1); perm < 16; perm++ {
+		mgr, m := setupTDT(t, 4)
+		caller := mgr.Context(0)
+		grant(m, caller, 0x1000, 0, 2, perm)
+		if f := mgr.Rpush(caller, 0, isa.TDT, 0xdead); f == nil || f.Cause != ExcPrivilege {
+			t.Fatalf("perm %v: user TDT write fault = %v, want privilege fault", perm, f)
+		}
+		if _, f := mgr.Rpull(caller, 0, isa.TDT); f == nil || f.Cause != ExcPrivilege {
+			t.Fatalf("perm %v: user TDT read fault = %v, want privilege fault", perm, f)
+		}
+		caller.Regs.Mode = 1
+		if f := mgr.Rpush(caller, 0, isa.TDT, 0x9000); f != nil {
+			t.Fatalf("perm %v: supervisor TDT write: %v", perm, f)
+		}
+		if mgr.Context(2).Regs.TDT != 0x9000 {
+			t.Fatalf("perm %v: TDT write did not land", perm)
+		}
 	}
 }
 
@@ -455,5 +532,22 @@ func TestStateTransitionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTranslateOutOfRangeCachedStillFaults(t *testing.T) {
+	// The first translation of an out-of-range row caches the entry before
+	// the range check; retrying the same vtid (e.g. a handler restarting the
+	// faulter with PC unadvanced) hits the cache path, which must fault the
+	// same way rather than index the context table out of range.
+	mgr, m := setupTDT(t, 2)
+	caller := mgr.Context(0)
+	caller.Regs.TDT = 0x1000
+	WriteTDTEntry(m, 0x1000, 3, Entry{PTID: 99, Perm: PermAll})
+	for i := 0; i < 2; i++ {
+		_, f := mgr.Translate(caller, 3)
+		if f == nil || f.Cause != ExcTDTFault {
+			t.Fatalf("attempt %d: want TDT fault, got %v", i, f)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -110,11 +111,16 @@ func (p *Program) MustEntry(label string) int64 {
 	return v
 }
 
-// Disassemble renders the whole program with labels interleaved.
+// Disassemble renders the whole program with labels interleaved. Several
+// labels on one index print in sorted order, keeping the output (and the
+// differential harness's repro dumps) byte-deterministic.
 func (p *Program) Disassemble() string {
 	byIndex := make(map[int64][]string)
 	for name, idx := range p.Labels {
 		byIndex[idx] = append(byIndex[idx], name)
+	}
+	for _, names := range byIndex {
+		sort.Strings(names)
 	}
 	var b strings.Builder
 	for i, in := range p.Code {

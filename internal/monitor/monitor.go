@@ -40,6 +40,36 @@ type watcherState struct {
 	pSrc    mem.WriteSource
 }
 
+// addrWatchers is the per-address waiter list, kept in global arm order so
+// that a write waking several waiters delivers the wakeups deterministically
+// (map iteration order would make racy multi-waiter programs diverge between
+// otherwise identical runs).
+type addrWatchers struct {
+	set  map[Waiter]bool
+	list []Waiter // arm order; entries removed on disarm
+}
+
+func (aw *addrWatchers) add(w Waiter) {
+	if aw.set[w] {
+		return
+	}
+	aw.set[w] = true
+	aw.list = append(aw.list, w)
+}
+
+func (aw *addrWatchers) remove(w Waiter) {
+	if !aw.set[w] {
+		return
+	}
+	delete(aw.set, w)
+	for i, x := range aw.list {
+		if x == w {
+			aw.list = append(aw.list[:i], aw.list[i+1:]...)
+			break
+		}
+	}
+}
+
 // Engine is the machine-wide monitor filter. It observes every write to
 // physical memory and wakes waiters whose armed watch sets match.
 //
@@ -57,7 +87,7 @@ type Engine struct {
 	MaxWatches int
 
 	watchers map[Waiter]*watcherState
-	byAddr   map[int64]map[Waiter]bool
+	byAddr   map[int64]*addrWatchers
 
 	// Tracing (nil tr = off). Each delivered wakeup starts a flow on the
 	// monitor track and stashes its ID in the tracer; the core's synchronous
@@ -78,7 +108,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		DMAVisible: true,
 		watchers:   make(map[Waiter]*watcherState),
-		byAddr:     make(map[int64]map[Waiter]bool),
+		byAddr:     make(map[int64]*addrWatchers),
 	}
 }
 
@@ -129,9 +159,9 @@ func (e *Engine) Arm(w Waiter, addr int64) {
 		victim := s.order[0]
 		s.order = s.order[1:]
 		delete(s.addrs, victim)
-		if set := e.byAddr[victim]; set != nil {
-			delete(set, w)
-			if len(set) == 0 {
+		if aw := e.byAddr[victim]; aw != nil {
+			aw.remove(w)
+			if len(aw.list) == 0 {
 				delete(e.byAddr, victim)
 			}
 		}
@@ -139,12 +169,12 @@ func (e *Engine) Arm(w Waiter, addr int64) {
 	}
 	s.addrs[addr] = true
 	s.order = append(s.order, addr)
-	set := e.byAddr[addr]
-	if set == nil {
-		set = make(map[Waiter]bool)
-		e.byAddr[addr] = set
+	aw := e.byAddr[addr]
+	if aw == nil {
+		aw = &addrWatchers{set: make(map[Waiter]bool)}
+		e.byAddr[addr] = aw
 	}
-	set[w] = true
+	aw.add(w)
 	if e.tr != nil {
 		e.tr.InstantArg(e.trTrack, "arm", "0x"+strconv.FormatInt(addr, 16), e.trNow())
 	}
@@ -199,9 +229,9 @@ func (e *Engine) CancelWait(w Waiter) {
 // watch set: like x86, the monitor must be re-armed after every wakeup.
 func (e *Engine) disarm(w Waiter, s *watcherState) {
 	for a := range s.addrs {
-		if set := e.byAddr[a]; set != nil {
-			delete(set, w)
-			if len(set) == 0 {
+		if aw := e.byAddr[a]; aw != nil {
+			aw.remove(w)
+			if len(aw.list) == 0 {
 				delete(e.byAddr, a)
 			}
 		}
@@ -213,7 +243,7 @@ func (e *Engine) disarm(w Waiter, s *watcherState) {
 // physical memory and sees every write in the machine.
 func (e *Engine) ObserveWrite(addr, val int64, src mem.WriteSource) {
 	if !e.DMAVisible && src != mem.SrcCPU {
-		if len(e.byAddr[addr]) > 0 {
+		if aw := e.byAddr[addr]; aw != nil && len(aw.list) > 0 {
 			e.dropped++
 			if e.tr != nil {
 				e.tr.InstantArg(e.trTrack, "dropped",
@@ -222,13 +252,14 @@ func (e *Engine) ObserveWrite(addr, val int64, src mem.WriteSource) {
 		}
 		return
 	}
-	set := e.byAddr[addr]
-	if len(set) == 0 {
+	aw := e.byAddr[addr]
+	if aw == nil || len(aw.list) == 0 {
 		return
 	}
-	// Collect first: Wake handlers may re-arm, mutating the maps.
+	// Collect first (in arm order, so wake delivery is deterministic): Wake
+	// handlers may re-arm, mutating the watch structures.
 	var toWake []Waiter
-	for w := range set {
+	for _, w := range aw.list {
 		s := e.watchers[w]
 		if s == nil {
 			continue

@@ -325,3 +325,38 @@ func TestMaxWatchesIndependentPerWaiter(t *testing.T) {
 		t.Fatal("w2's watch was wrongly evicted")
 	}
 }
+
+func TestWakeOrderIsArmOrder(t *testing.T) {
+	// A write waking several waiters on one address must deliver the wakeups
+	// in arm order, every run: map-order delivery makes racy multi-waiter
+	// programs nondeterministic (caught by the differential harness's
+	// cross-run determinism check).
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		var order []int
+		ws := make([]*fakeWaiter, 8)
+		for i := range ws {
+			i := i
+			ws[i] = &fakeWaiter{rearm: func(*fakeWaiter) { order = append(order, i) }}
+		}
+		// Arm in a scrambled-but-fixed order, then block all.
+		armOrder := []int{3, 0, 7, 5, 1, 6, 2, 4}
+		for _, i := range armOrder {
+			e.Arm(ws[i], 0x40)
+		}
+		for _, i := range armOrder {
+			if !e.Wait(ws[i]) {
+				t.Fatalf("trial %d: waiter %d did not block", trial, i)
+			}
+		}
+		e.ObserveWrite(0x40, 1, mem.SrcCPU)
+		if len(order) != len(armOrder) {
+			t.Fatalf("trial %d: woke %d of %d", trial, len(order), len(armOrder))
+		}
+		for k, i := range armOrder {
+			if order[k] != i {
+				t.Fatalf("trial %d: wake order %v, want arm order %v", trial, order, armOrder)
+			}
+		}
+	}
+}

@@ -1,0 +1,460 @@
+// Package progen generates seeded random multi-thread programs for the
+// differential tests in internal/refmodel: small "soups" of ALU/memory work
+// wrapped in role templates (workers, waiters, wakers, supervisor handlers)
+// whose interactions are deliberately biased toward the nasty interleavings of
+// the nocs threading model — wake-before-wait races, stop of a running
+// thread, rpush into a runnable ptid, permission-denied TDT paths, self-wakes,
+// and faulting instructions with and without an exception handler.
+//
+// Generation is a pure function of (seed, Bias): it draws only from
+// sim.NewRNG(seed) and never iterates a map, so the same seed always yields
+// byte-identical output. Programs respect the two restrictions the reference
+// timing model needs (see refmodel's package comment): few enough threads that
+// state stays register-file resident, and all loads/stores confined to the
+// fixed windows in spec.go, which never evict an L1 line.
+package progen
+
+import (
+	"fmt"
+	"strings"
+
+	"nocs/internal/asm"
+	"nocs/internal/isa"
+	"nocs/internal/sim"
+)
+
+// Bias sets the probability of each adversarial pattern. Zero means never;
+// DefaultBias is tuned so a few hundred programs cover every path.
+type Bias struct {
+	// WakeBeforeWait delays waiters between monitor and mwait while wakers
+	// fire immediately, stressing the pending-wakeup buffer.
+	WakeBeforeWait float64
+	// SelfWake makes a waiter store to its own watched address before mwait.
+	SelfWake float64
+	// StopWhileRunning raises the weight of stop ops aimed at live threads.
+	StopWhileRunning float64
+	// RpushRunnable raises the weight of rpush ops, which fault with a TDT
+	// error whenever the target ptid is not disabled.
+	RpushRunnable float64
+	// PermDenied makes TDT rows carry a random (usually insufficient)
+	// permission nibble instead of all-bits.
+	PermDenied float64
+	// Supervisor adds a Mode=1 handler thread that fields a victim's
+	// exception descriptors and restarts it.
+	Supervisor float64
+	// Faults seeds worker soup with div-by-zero, privileged-in-user,
+	// jump-out-of-range, syscall and vmcall instructions.
+	Faults float64
+	// DMA schedules external device writes into the flag window.
+	DMA float64
+}
+
+// DefaultBias is the sweep configuration used by the checked-in tests.
+func DefaultBias() Bias {
+	return Bias{
+		WakeBeforeWait:   0.35,
+		SelfWake:         0.20,
+		StopWhileRunning: 0.40,
+		RpushRunnable:    0.30,
+		PermDenied:       0.35,
+		Supervisor:       0.30,
+		Faults:           0.30,
+		DMA:              0.40,
+	}
+}
+
+// Thread roles. Every program has at least one waiter and one waker so the
+// monitor/mwait machinery is always exercised.
+const (
+	roleWorker = iota
+	roleWaiter
+	roleWaker
+	roleHandler
+)
+
+var roleNames = [...]string{"worker", "waiter", "waker", "handler"}
+
+// Register conventions, shared by all role templates:
+//
+//	r8         always zero (never a destination; loop exit comparand)
+//	r9         loop counter
+//	r10, r11   DataBase / FlagBase pointers
+//	r12        vtid scratch for thread ops
+//	r1..r7     soup scratch (freely clobbered)
+var soupRegs = [...]isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7}
+
+// remoteRegs are the registers rpull/rpush may address remotely. r8..r15 are
+// excluded so the conventions above survive remote modification.
+var remoteRegs = [...]isa.Reg{
+	isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7,
+	isa.F0, isa.F1, isa.PC, isa.Mode, isa.EDP, isa.TDT,
+}
+
+type gen struct {
+	rng     *sim.RNG
+	b       Bias
+	threads int
+	src     strings.Builder
+	// flagOffs collects the word offsets waiters watch, so wakers and DMA
+	// aim at addresses someone actually monitors.
+	flagOffs []int64
+	nlabel   int
+}
+
+// Generate builds the program for one seed. The result is deterministic in
+// (seed, b) and always assembles; an assembly failure is a progen bug.
+func Generate(seed uint64, b Bias) (*Spec, error) {
+	g := &gen{rng: sim.NewRNG(seed), b: b}
+	g.threads = 2 + g.rng.Intn(7) // 2..8
+
+	s := &Spec{
+		Seed:     seed,
+		Threads:  g.threads,
+		Slots:    1 + g.rng.Intn(4),
+		Deadline: 15000 + int64(g.rng.Intn(20000)),
+	}
+
+	// Roles: ptid 0 waits, ptid 1 wakes, the rest are random. A supervisor
+	// handler (when drawn) takes the last ptid and services a fixed victim.
+	roles := make([]int, g.threads)
+	roles[0] = roleWaiter
+	roles[1] = roleWaker
+	for i := 2; i < g.threads; i++ {
+		roles[i] = g.rng.Intn(3) // worker | waiter | waker
+	}
+	victim := -1
+	if g.threads >= 3 && g.chance(b.Supervisor) {
+		roles[g.threads-1] = roleHandler
+		victim = g.rng.Intn(g.threads - 1)
+	}
+
+	// One shared TDT: row v maps to ptid v, usually with all permissions.
+	// Two extra rows exist purely to fault: an invalid row (perm 0) at vtid
+	// threads, and an out-of-range ptid at vtid threads+1.
+	for v := 0; v < g.threads; v++ {
+		perm := int64(0xF)
+		if g.chance(b.PermDenied) {
+			perm = int64(g.rng.Intn(16))
+		}
+		s.Mem = append(s.Mem,
+			MemInit{Addr: TDTBase + 16*int64(v), Val: int64(v)},
+			MemInit{Addr: TDTBase + 16*int64(v) + 8, Val: perm},
+		)
+	}
+	s.Mem = append(s.Mem,
+		MemInit{Addr: TDTBase + 16*int64(g.threads) + 8, Val: 0},
+		MemInit{Addr: TDTBase + 16*int64(g.threads+1), Val: 99},
+		MemInit{Addr: TDTBase + 16*int64(g.threads+1) + 8, Val: 0xF},
+	)
+	for n := g.rng.Intn(4); n > 0; n-- {
+		s.Mem = append(s.Mem, MemInit{
+			Addr: DataBase + 8*int64(g.rng.Intn(DataWords)),
+			Val:  int64(g.rng.Intn(256)),
+		})
+	}
+
+	// Registers: every thread gets the TDT base and (usually) a descriptor
+	// pointer; a missing EDP makes its first exception machine-fatal.
+	for p := 0; p < g.threads; p++ {
+		s.Regs = append(s.Regs, RegInit{PTID: p, Reg: isa.TDT, Val: TDTBase})
+		if p == victim || roles[p] == roleHandler || !g.chance(0.15) {
+			s.Regs = append(s.Regs, RegInit{
+				PTID: p, Reg: isa.EDP, Val: DescBase + DescStride*int64(p),
+			})
+		}
+		if roles[p] == roleHandler {
+			s.Regs = append(s.Regs, RegInit{PTID: p, Reg: isa.Mode, Val: 1})
+		}
+		if g.chance(0.3) {
+			s.Prios = append(s.Prios, PrioInit{PTID: p, Prio: 1 + g.rng.Intn(4)})
+		}
+	}
+
+	// Waiters pick their watched flags first so wakers can aim at them.
+	watch := make([][]int64, g.threads)
+	for p := 0; p < g.threads; p++ {
+		if roles[p] == roleWaiter {
+			n := 1 + g.rng.Intn(2)
+			for k := 0; k < n; k++ {
+				off := int64(g.rng.Intn(FlagWords))
+				watch[p] = append(watch[p], off)
+				g.flagOffs = append(g.flagOffs, off)
+			}
+		}
+	}
+
+	for p := 0; p < g.threads; p++ {
+		g.emitThread(p, roles[p], watch[p], victim)
+	}
+
+	// Boot most threads, in shuffled order (boot order fixes the engine's
+	// first-instruction tie-break, so it is part of the test case).
+	var boot []int
+	for p := 0; p < g.threads; p++ {
+		if roles[p] == roleHandler || g.chance(0.8) {
+			boot = append(boot, p)
+		}
+	}
+	if len(boot) == 0 {
+		boot = append(boot, 1)
+	}
+	for i := len(boot) - 1; i > 0; i-- {
+		j := g.rng.Intn(i + 1)
+		boot[i], boot[j] = boot[j], boot[i]
+	}
+	s.Boot = boot
+
+	if g.chance(b.DMA) {
+		for n := 1 + g.rng.Intn(3); n > 0; n-- {
+			s.DMA = append(s.DMA, DMA{
+				At:   int64(g.rng.Intn(int(s.Deadline / 2))),
+				Addr: FlagBase + 8*g.pickFlag(),
+				Val:  1 + int64(g.rng.Intn(100)),
+			})
+		}
+	}
+
+	s.Source = g.src.String()
+	prog, err := asm.Assemble(fmt.Sprintf("gen-%d", seed), s.Source)
+	if err != nil {
+		return nil, fmt.Errorf("progen: seed %d produced invalid assembly: %w", seed, err)
+	}
+	s.Prog = prog
+	return s, nil
+}
+
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+func (g *gen) line(format string, a ...any) {
+	fmt.Fprintf(&g.src, format+"\n", a...)
+}
+
+func (g *gen) op(format string, a ...any) {
+	g.src.WriteByte('\t')
+	g.line(format, a...)
+}
+
+// pickFlag chooses a flag-window word offset, preferring watched ones.
+func (g *gen) pickFlag() int64 {
+	if len(g.flagOffs) > 0 && !g.chance(0.15) {
+		return g.flagOffs[g.rng.Intn(len(g.flagOffs))]
+	}
+	return int64(g.rng.Intn(FlagWords))
+}
+
+func (g *gen) soupReg() isa.Reg { return soupRegs[g.rng.Intn(len(soupRegs))] }
+
+// soupSrc is a soup source operand: a scratch register or the zero reg.
+func (g *gen) soupSrc() isa.Reg {
+	if g.chance(0.12) {
+		return isa.R8
+	}
+	return g.soupReg()
+}
+
+func (g *gen) emitThread(p, role int, watch []int64, victim int) {
+	g.line("")
+	g.line("; ptid %d: %s", p, roleNames[role])
+	if p == 0 {
+		g.line("main:") // alias so plain `nocsasm` runs the file too
+	}
+	g.line("t%d:", p)
+	g.op("movi r10, %d", DataBase)
+	g.op("movi r11, %d", FlagBase)
+	for k := 1; k <= 4; k++ {
+		g.op("movi r%d, %d", k, 1+g.rng.Intn(15))
+	}
+	switch role {
+	case roleWorker:
+		g.emitWorker(p)
+	case roleWaiter:
+		g.emitWaiter(p, watch)
+	case roleWaker:
+		g.emitWaker(p)
+	case roleHandler:
+		g.emitHandler(p, victim)
+	}
+}
+
+func (g *gen) emitWorker(p int) {
+	g.op("movi r9, %d", 4+g.rng.Intn(9))
+	g.line("t%d_loop:", p)
+	g.soup(p, 3+g.rng.Intn(8), g.chance(g.b.Faults))
+	g.op("addi r9, r9, -1")
+	g.op("bne r9, r8, t%d_loop", p)
+	g.op("halt")
+}
+
+func (g *gen) emitWaiter(p int, watch []int64) {
+	g.op("movi r9, %d", 1+g.rng.Intn(3))
+	g.line("t%d_loop:", p)
+	for _, off := range watch {
+		g.op("addi r7, r11, %d", 8*off)
+		g.op("monitor r7")
+	}
+	if g.chance(g.b.SelfWake) {
+		g.op("movi r2, %d", 1+g.rng.Intn(50))
+		g.op("st [r11+%d], r2", 8*watch[0])
+	}
+	if g.chance(g.b.WakeBeforeWait) {
+		g.soup(p, 3+g.rng.Intn(6), false)
+	}
+	g.op("mwait")
+	g.op("ld r1, [r11+%d]", 8*watch[0])
+	g.op("st [r10+%d], r1", 8*int64(p))
+	g.op("addi r9, r9, -1")
+	g.op("bne r9, r8, t%d_loop", p)
+	g.op("halt")
+}
+
+func (g *gen) emitWaker(p int) {
+	if !g.chance(g.b.WakeBeforeWait) {
+		g.soup(p, g.rng.Intn(6), false)
+	}
+	g.op("movi r9, %d", 1+g.rng.Intn(4))
+	g.line("t%d_loop:", p)
+	g.op("movi r1, %d", 1+g.rng.Intn(99))
+	g.op("st [r11+%d], r1", 8*g.pickFlag())
+	if g.chance(0.3) {
+		g.op("st [r11+%d], r1", 8*g.pickFlag())
+	}
+	if g.chance(0.7) {
+		g.threadOp()
+	}
+	g.op("addi r9, r9, -1")
+	g.op("bne r9, r8, t%d_loop", p)
+	g.op("halt")
+}
+
+func (g *gen) emitHandler(p, victim int) {
+	g.op("movi r7, %d", DescBase+DescStride*int64(victim))
+	g.op("movi r9, %d", 2+g.rng.Intn(3))
+	g.line("t%d_loop:", p)
+	g.op("monitor r7")
+	g.op("mwait")
+	g.op("ld r1, [r7+0]")               // cause word doubles as the doorbell
+	g.op("st [r10+%d], r1", 8*int64(p)) // record the last cause seen
+	g.op("movi r2, 0")
+	g.op("st [r7+0], r2") // clear the doorbell
+	g.op("movi r12, %d", victim)
+	if g.chance(0.4) {
+		g.op("rpull r12, r3, pc")
+	}
+	g.op("start r12")
+	g.op("addi r9, r9, -1")
+	g.op("bne r9, r8, t%d_loop", p)
+	g.op("halt")
+}
+
+// threadOp emits one thread-management instruction with a biased vtid: mostly
+// valid, sometimes the invalid or out-of-range TDT row.
+func (g *gen) threadOp() {
+	vtid := int64(g.rng.Intn(g.threads))
+	switch r := g.rng.Float64(); {
+	case r > 0.92:
+		vtid = int64(g.threads) // invalid row
+	case r > 0.84:
+		vtid = int64(g.threads + 1) // out-of-range ptid
+	}
+	g.op("movi r12, %d", vtid)
+
+	const nOps = 5
+	w := [nOps]float64{
+		1.0,                         // start
+		0.5 + g.b.StopWhileRunning,  // stop
+		0.7,                         // rpull
+		0.5 + 1.5*g.b.RpushRunnable, // rpush
+		0.4,                         // invtid
+	}
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	pick := g.rng.Float64() * total
+	op := 0
+	for acc := w[0]; op < nOps-1 && pick >= acc; acc += w[op] {
+		op++
+	}
+	switch op {
+	case 0:
+		g.op("start r12")
+	case 1:
+		g.op("stop r12")
+	case 2:
+		g.op("rpull r12, %v, %v", g.soupReg(), g.remoteReg())
+	case 3:
+		g.op("movi r3, %d", g.rng.Intn(8))
+		g.op("rpush r12, %v, r3", g.remoteReg())
+	case 4:
+		g.op("invtid r12, %v", g.soupReg())
+	}
+}
+
+func (g *gen) remoteReg() isa.Reg {
+	return remoteRegs[g.rng.Intn(len(remoteRegs))]
+}
+
+// soup emits n instructions of register/memory noise. When faults is set, a
+// faulting instruction may be mixed in (ending the thread's run unless a
+// handler restarts it).
+func (g *gen) soup(p, n int, faults bool) {
+	for i := 0; i < n; i++ {
+		if faults && g.chance(0.18) {
+			g.faultOp()
+			continue
+		}
+		switch g.rng.Intn(10) {
+		case 0:
+			g.op("add %v, %v, %v", g.soupReg(), g.soupSrc(), g.soupSrc())
+		case 1:
+			g.op("sub %v, %v, %v", g.soupReg(), g.soupSrc(), g.soupSrc())
+		case 2:
+			g.op("mul %v, %v, %v", g.soupReg(), g.soupSrc(), g.soupSrc())
+		case 3:
+			ops := [...]string{"and", "or", "xor", "slt", "shl", "shr"}
+			g.op("%s %v, %v, %v", ops[g.rng.Intn(len(ops))], g.soupReg(), g.soupSrc(), g.soupSrc())
+		case 4:
+			g.op("addi %v, %v, %d", g.soupReg(), g.soupSrc(), g.rng.Intn(33)-16)
+		case 5:
+			g.op("movi %v, %d", g.soupReg(), g.rng.Intn(64))
+		case 6:
+			g.op("ld %v, [r10+%d]", g.soupReg(), 8*g.rng.Intn(DataWords))
+		case 7:
+			g.op("st [r10+%d], %v", 8*g.rng.Intn(DataWords), g.soupSrc())
+		case 8:
+			f := isa.F0 + isa.Reg(g.rng.Intn(4))
+			if g.chance(0.5) {
+				g.op("fmovi %v, %d", f, g.rng.Intn(32))
+			} else {
+				g.op("fadd %v, %v, %v", f, isa.F0+isa.Reg(g.rng.Intn(4)), isa.F0+isa.Reg(g.rng.Intn(4)))
+			}
+		case 9:
+			// Short skipped-or-taken branch over 1..2 instructions.
+			l := g.nlabel
+			g.nlabel++
+			cond := [...]string{"beq", "bne", "blt", "bge"}
+			g.op("%s %v, %v, t%d_s%d", cond[g.rng.Intn(len(cond))], g.soupSrc(), g.soupSrc(), p, l)
+			for k := 1 + g.rng.Intn(2); k > 0; k-- {
+				g.op("addi %v, %v, %d", g.soupReg(), g.soupSrc(), g.rng.Intn(9)-4)
+			}
+			g.line("t%d_s%d:", p, l)
+		}
+	}
+}
+
+// faultOp emits one instruction that raises an exception in user mode.
+func (g *gen) faultOp() {
+	switch g.rng.Intn(5) {
+	case 0:
+		g.op("div %v, %v, r8", g.soupReg(), g.soupReg()) // divide by zero
+	case 1:
+		g.op("wrmsr r1, r2") // privileged in user mode
+	case 2:
+		g.op("movi r5, %d", 100000+g.rng.Intn(1000))
+		g.op("jr r5") // next fetch is out of range: invalid opcode
+	case 3:
+		g.op("syscall")
+	case 4:
+		g.op("vmcall")
+	}
+}

@@ -1,0 +1,95 @@
+package progen
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sortedRegs returns the canonical (ptid, reg) ordering Format emits.
+func sortedRegs(in []RegInit) []RegInit {
+	out := make([]RegInit, len(in))
+	copy(out, in)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].PTID != out[j].PTID {
+			return out[i].PTID < out[j].PTID
+		}
+		return out[i].Reg < out[j].Reg
+	})
+	return out
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, err := Generate(seed, DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed, DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Format() != b.Format() {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestGenerateVariesAcrossSeeds(t *testing.T) {
+	a, err := Generate(1, DefaultBias())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(2, DefaultBias())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() == b.Format() {
+		t.Fatal("seeds 1 and 2 generated identical programs")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		s, err := Generate(seed, DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		text := s.Format()
+		p, err := ParseSpec("roundtrip", text)
+		if err != nil {
+			t.Fatalf("seed %d: ParseSpec: %v\n%s", seed, err, text)
+		}
+		if p.Format() != text {
+			t.Fatalf("seed %d: Format not stable through ParseSpec", seed)
+		}
+		if p.Seed != s.Seed || p.Threads != s.Threads || p.Slots != s.Slots || p.Deadline != s.Deadline {
+			t.Fatalf("seed %d: header fields lost: got %+v", seed, p)
+		}
+		if !reflect.DeepEqual(p.Boot, s.Boot) ||
+			!reflect.DeepEqual(sortedRegs(p.Regs), sortedRegs(s.Regs)) ||
+			!reflect.DeepEqual(p.Prios, s.Prios) ||
+			!reflect.DeepEqual(p.Mem, s.Mem) ||
+			!reflect.DeepEqual(p.DMA, s.DMA) {
+			t.Fatalf("seed %d: setup directives lost in round trip", seed)
+		}
+		if !reflect.DeepEqual(p.Prog.Code, s.Prog.Code) {
+			t.Fatalf("seed %d: reassembled code differs", seed)
+		}
+	}
+}
+
+func TestGeneratedProgramsHaveEntryLabels(t *testing.T) {
+	s, err := Generate(7, DefaultBias())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Threads; i++ {
+		if _, err := s.Prog.Entry(EntryLabel(i)); err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+	}
+	if _, err := s.Prog.Entry("main"); err != nil {
+		t.Fatalf("main alias: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package progen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nocs/internal/asm"
+	"nocs/internal/isa"
+)
+
+// Spec is a complete, self-describing differential test case: an assembled
+// multi-thread program plus everything needed to set up both the optimized
+// engine and the reference interpreter identically. Format renders it as an
+// assembly file with directive comments; ParseSpec reads one back, so any
+// dumped repro is runnable via `nocsasm -diff`.
+type Spec struct {
+	Seed     uint64
+	Threads  int
+	Slots    int
+	Deadline int64
+
+	// Source is the assembly text; Prog is its assembled form. Thread i's
+	// entry point is the label "t<i>".
+	Source string
+	Prog   *isa.Program
+
+	// Boot lists the ptids enabled at time zero, in boot order (which fixes
+	// the engine's event tie-breaking for the first instructions).
+	Boot []int
+
+	// Regs are pre-boot register initializations (EDP, TDT, Mode, ...).
+	Regs []RegInit
+	// Prios are nonzero pipeline weights.
+	Prios []PrioInit
+	// Mem are pre-boot memory initializations (TDT rows are lowered to
+	// plain word writes so the spec needs no TDT-layout knowledge).
+	Mem []MemInit
+	// DMA are device writes scheduled before boot, fired at their times.
+	DMA []DMA
+}
+
+// RegInit sets one register of one ptid before boot.
+type RegInit struct {
+	PTID int
+	Reg  isa.Reg
+	Val  int64
+}
+
+// PrioInit sets one ptid's pipeline weight.
+type PrioInit struct {
+	PTID int
+	Prio int
+}
+
+// MemInit writes one word of physical memory before boot.
+type MemInit struct {
+	Addr int64
+	Val  int64
+}
+
+// DMA is a device write at a fixed simulated time.
+type DMA struct {
+	At   int64
+	Addr int64
+	Val  int64
+}
+
+// Memory layout shared by the generator and the harness's comparison windows.
+const (
+	// DataBase is the load/store scratch window (DataWords words).
+	DataBase  = 0x1000
+	DataWords = 64
+	// FlagBase is the monitor/mwait flag window (FlagWords words).
+	FlagBase  = 0x1400
+	FlagWords = 16
+	// TDTBase is the shared thread descriptor table.
+	TDTBase = 0x4000
+	// DescBase is the exception descriptor area; ptid p's descriptor lives
+	// at DescBase + DescStride*p.
+	DescBase   = 0x6000
+	DescStride = 64
+)
+
+// EntryLabel returns the label at which thread i's code starts.
+func EntryLabel(i int) string { return fmt.Sprintf("t%d", i) }
+
+// Windows returns the physical-memory ranges whose final contents the
+// differential harness compares word by word.
+func (s *Spec) Windows() [][2]int64 {
+	return [][2]int64{
+		{DataBase, DataBase + 8*DataWords},
+		{FlagBase, FlagBase + 8*FlagWords},
+		{DescBase, DescBase + DescStride*int64(s.Threads)},
+	}
+}
+
+// Format renders the spec as an assembly file with directive comments. The
+// output is deterministic (directives in fixed order, sorted where needed)
+// and round-trips through ParseSpec.
+func (s *Spec) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; nocs-diff v1 seed=%d threads=%d slots=%d deadline=%d\n",
+		s.Seed, s.Threads, s.Slots, s.Deadline)
+	if len(s.Boot) > 0 {
+		b.WriteString("; nocs-boot")
+		for _, p := range s.Boot {
+			fmt.Fprintf(&b, " %d", p)
+		}
+		b.WriteByte('\n')
+	}
+	regs := make([]RegInit, len(s.Regs))
+	copy(regs, s.Regs)
+	sort.SliceStable(regs, func(i, j int) bool {
+		if regs[i].PTID != regs[j].PTID {
+			return regs[i].PTID < regs[j].PTID
+		}
+		return regs[i].Reg < regs[j].Reg
+	})
+	for _, r := range regs {
+		fmt.Fprintf(&b, "; nocs-reg %d %v=%d\n", r.PTID, r.Reg, r.Val)
+	}
+	for _, p := range s.Prios {
+		fmt.Fprintf(&b, "; nocs-prio %d %d\n", p.PTID, p.Prio)
+	}
+	for _, m := range s.Mem {
+		fmt.Fprintf(&b, "; nocs-mem %d %d\n", m.Addr, m.Val)
+	}
+	for _, d := range s.DMA {
+		fmt.Fprintf(&b, "; nocs-dma %d %d %d\n", d.At, d.Addr, d.Val)
+	}
+	b.WriteString(s.Source)
+	if !strings.HasSuffix(s.Source, "\n") {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseSpec reads a Format-style file back into a Spec, assembling the
+// program. Directive lines are comments to the assembler; they are stripped
+// from the stored Source so Format round-trips byte-for-byte.
+func ParseSpec(name, text string) (*Spec, error) {
+	s := &Spec{Slots: 2}
+	var src []string
+	for ln, line := range strings.Split(text, "\n") {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "; nocs-") {
+			src = append(src, line)
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(t, "; "))
+		if err := s.parseDirective(fields); err != nil {
+			return nil, fmt.Errorf("progen: line %d: %w", ln+1, err)
+		}
+	}
+	if s.Threads <= 0 {
+		return nil, fmt.Errorf("progen: %s: missing nocs-diff directive", name)
+	}
+	s.Source = strings.Join(src, "\n")
+	prog, err := asm.Assemble(name, s.Source)
+	if err != nil {
+		return nil, err
+	}
+	s.Prog = prog
+	return s, nil
+}
+
+func (s *Spec) parseDirective(fields []string) error {
+	atoi := func(f string) (int64, error) { return strconv.ParseInt(f, 0, 64) }
+	switch fields[0] {
+	case "nocs-diff":
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok && f == "v1" {
+				continue
+			}
+			if !ok {
+				return fmt.Errorf("bad nocs-diff field %q", f)
+			}
+			n, err := atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad nocs-diff field %q: %v", f, err)
+			}
+			switch k {
+			case "seed":
+				s.Seed = uint64(n)
+			case "threads":
+				s.Threads = int(n)
+			case "slots":
+				s.Slots = int(n)
+			case "deadline":
+				s.Deadline = n
+			default:
+				return fmt.Errorf("unknown nocs-diff field %q", k)
+			}
+		}
+	case "nocs-boot":
+		for _, f := range fields[1:] {
+			n, err := atoi(f)
+			if err != nil {
+				return fmt.Errorf("bad boot ptid %q", f)
+			}
+			s.Boot = append(s.Boot, int(n))
+		}
+	case "nocs-reg":
+		if len(fields) < 3 {
+			return fmt.Errorf("nocs-reg needs ptid and assignments")
+		}
+		p, err := atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad nocs-reg ptid %q", fields[1])
+		}
+		for _, f := range fields[2:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return fmt.Errorf("bad nocs-reg assignment %q", f)
+			}
+			reg, ok := isa.RegByName(k)
+			if !ok {
+				return fmt.Errorf("unknown register %q", k)
+			}
+			n, err := atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad nocs-reg value %q", f)
+			}
+			s.Regs = append(s.Regs, RegInit{PTID: int(p), Reg: reg, Val: n})
+		}
+	case "nocs-prio":
+		if len(fields) != 3 {
+			return fmt.Errorf("nocs-prio needs ptid and weight")
+		}
+		p, err1 := atoi(fields[1])
+		w, err2 := atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad nocs-prio %v", fields[1:])
+		}
+		s.Prios = append(s.Prios, PrioInit{PTID: int(p), Prio: int(w)})
+	case "nocs-mem":
+		if len(fields) != 3 {
+			return fmt.Errorf("nocs-mem needs addr and val")
+		}
+		a, err1 := atoi(fields[1])
+		v, err2 := atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad nocs-mem %v", fields[1:])
+		}
+		s.Mem = append(s.Mem, MemInit{Addr: a, Val: v})
+	case "nocs-dma":
+		if len(fields) != 4 {
+			return fmt.Errorf("nocs-dma needs at, addr, val")
+		}
+		at, err1 := atoi(fields[1])
+		a, err2 := atoi(fields[2])
+		v, err3 := atoi(fields[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad nocs-dma %v", fields[1:])
+		}
+		s.DMA = append(s.DMA, DMA{At: at, Addr: a, Val: v})
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	return nil
+}

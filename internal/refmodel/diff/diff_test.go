@@ -1,0 +1,131 @@
+package diff
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nocs/internal/progen"
+	"nocs/internal/trace"
+)
+
+// sweepParams reads the sweep size and seed base, overridable from CI:
+// NOCS_DIFF_N (count) and NOCS_DIFF_SEED_BASE (first seed).
+func sweepParams(t *testing.T) (base, n uint64) {
+	n = 500
+	if v := os.Getenv("NOCS_DIFF_N"); v != "" {
+		x, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad NOCS_DIFF_N %q: %v", v, err)
+		}
+		n = x
+	}
+	if v := os.Getenv("NOCS_DIFF_SEED_BASE"); v != "" {
+		x, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad NOCS_DIFF_SEED_BASE %q: %v", v, err)
+		}
+		base = x
+	}
+	return base, n
+}
+
+// TestDifferentialSweep is the main acceptance test: hundreds of seeded
+// random programs, each run through both implementations, with zero
+// tolerated divergence. On failure it prints the seed and a replayable
+// repro file.
+func TestDifferentialSweep(t *testing.T) {
+	base, n := sweepParams(t)
+	for seed := base; seed < base+n; seed++ {
+		s, err := progen.Generate(seed, progen.DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Run(s, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			for _, d := range res.Divergences {
+				t.Logf("  %s", d)
+			}
+			t.Fatalf("divergence: %s", res.Repro())
+		}
+	}
+}
+
+// TestSweepDeterministic reruns a slice of the sweep and requires the
+// engine to reproduce its own outcome bit-for-bit, independently of the
+// reference model.
+func TestSweepDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s, err := progen.Generate(seed, progen.DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, _, err := runEngine(s, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, _, err := runEngine(s, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: engine outcome not reproducible across runs", seed)
+		}
+	}
+}
+
+// TestTracedRunsMatchUntraced runs a subset with tracing attached: the
+// tracer must not perturb any architectural outcome, and the recorded
+// begin/end events must nest correctly.
+func TestTracedRunsMatchUntraced(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		s, err := progen.Generate(seed, progen.DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		plain, _, err := runEngine(s, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := trace.New()
+		traced, _, err := runEngine(s, tr)
+		if err != nil {
+			t.Fatalf("seed %d traced: %v", seed, err)
+		}
+		if !reflect.DeepEqual(plain, traced) {
+			t.Fatalf("seed %d: tracing changed the architectural outcome", seed)
+		}
+		if err := tr.CheckNesting(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestMutationIsCaught flips the reference model's documented
+// wakeup-dropping knob (DESIGN.md §9) and requires the sweep to notice:
+// a differential harness that cannot catch a planted lost-wakeup bug
+// would prove nothing.
+func TestMutationIsCaught(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s, err := progen.Generate(seed, progen.DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Run(s, Options{DropPendingWakeups: true})
+		if err != nil && strings.Contains(err.Error(), "lost wakeup") {
+			return // caught by the no-lost-wakeups invariant checker
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			return // caught by outcome comparison
+		}
+	}
+	t.Fatal("wakeup-dropping mutation survived 50 seeds undetected")
+}

@@ -1,0 +1,225 @@
+package refmodel
+
+import (
+	"testing"
+
+	"nocs/internal/asm"
+	"nocs/internal/isa"
+)
+
+// run assembles src, binds each labeled thread, boots the listed ptids, and
+// runs to the deadline.
+func run(t *testing.T, cfg Config, src string, entries []string, boot []int, deadline int64) *Interp {
+	t.Helper()
+	prog := asm.MustAssemble("refmodel_test", src)
+	if cfg.Threads == 0 {
+		cfg.Threads = len(entries)
+	}
+	it := New(cfg)
+	for i, label := range entries {
+		th := it.Thread(i)
+		th.Prog = prog
+		th.Regs.PC = prog.MustEntry(label)
+	}
+	for _, p := range boot {
+		if err := it.Boot(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it.Run(deadline)
+	if err := it.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+const waiterWaker = `
+waiter:
+	movi r11, 5120
+	addi r7, r11, 0
+	monitor r7
+	mwait
+	ld r1, [r11+0]
+	halt
+waker:
+	movi r11, 5120
+	movi r1, 42
+	st [r11+0], r1
+	halt
+`
+
+func TestMonitorMwaitWake(t *testing.T) {
+	it := run(t, Config{}, waiterWaker, []string{"waiter", "waker"}, []int{0, 1}, 100000)
+	w := it.Thread(0)
+	if w.Regs.Get(isa.R1) != 42 {
+		t.Fatalf("waiter r1 = %d, want 42", w.Regs.Get(isa.R1))
+	}
+	if w.State != StDisabled || it.Thread(1).State != StDisabled {
+		t.Fatalf("threads not halted: %d %d", w.State, it.Thread(1).State)
+	}
+	if w.Wakeups != 1 || it.MonWakeups != 1 {
+		t.Fatalf("wakeups = %d/%d, want 1/1", w.Wakeups, it.MonWakeups)
+	}
+	if w.LastHalt == 0 || it.Thread(1).LastHalt == 0 {
+		t.Fatal("halt timestamps not recorded")
+	}
+}
+
+func TestSelfWakeBuffersPendingWrite(t *testing.T) {
+	src := `
+main:
+	movi r11, 5120
+	addi r7, r11, 0
+	monitor r7
+	movi r2, 7
+	st [r11+0], r2
+	mwait
+	ld r1, [r11+0]
+	halt
+`
+	it := run(t, Config{}, src, []string{"main"}, []int{0}, 100000)
+	th := it.Thread(0)
+	if th.State != StDisabled || th.Regs.Get(isa.R1) != 7 {
+		t.Fatalf("state %d r1 %d, want halted with r1=7", th.State, th.Regs.Get(isa.R1))
+	}
+	if it.MonImmediate != 1 {
+		t.Fatalf("immediate completions = %d, want 1", it.MonImmediate)
+	}
+}
+
+func TestDropPendingWakeupsMutationLosesSelfWake(t *testing.T) {
+	src := `
+main:
+	movi r11, 5120
+	addi r7, r11, 0
+	monitor r7
+	movi r2, 7
+	st [r11+0], r2
+	mwait
+	halt
+`
+	prog := asm.MustAssemble("refmodel_test", src)
+	it := New(Config{Threads: 1, DropPendingWakeups: true})
+	th := it.Thread(0)
+	th.Prog = prog
+	th.Regs.PC = prog.MustEntry("main")
+	if err := it.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	it.Run(100000)
+	// The invariant checker must flag the planted bug as a lost wakeup, and
+	// the thread stays blocked forever.
+	if th.State != StWaiting {
+		t.Fatalf("state = %d, want stuck waiting", th.State)
+	}
+	if err := it.CheckInvariants(); err == nil {
+		t.Fatal("lost-wakeup invariant did not fire under the mutation")
+	}
+}
+
+func TestNoHandlerFatal(t *testing.T) {
+	src := `
+main:
+	div r1, r2, r8
+	halt
+`
+	it := run(t, Config{}, src, []string{"main"}, []int{0}, 100000)
+	f := it.Fatal()
+	if f == nil || f.PTID != 0 || f.Info != CauseDivZero {
+		t.Fatalf("fatal = %+v, want ptid 0 info %d", f, CauseDivZero)
+	}
+	if it.Thread(0).State != StDisabled {
+		t.Fatal("faulting thread not disabled")
+	}
+}
+
+func TestDescriptorWrite(t *testing.T) {
+	src := `
+main:
+	movi r1, 5
+	div r1, r1, r8
+	halt
+`
+	prog := asm.MustAssemble("refmodel_test", src)
+	it := New(Config{Threads: 1})
+	th := it.Thread(0)
+	th.Prog = prog
+	th.Regs.PC = prog.MustEntry("main")
+	th.Regs.EDP = 0x6000
+	if err := it.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	it.Run(100000)
+	if it.Fatal() != nil {
+		t.Fatalf("unexpected fatal %+v", it.Fatal())
+	}
+	// div is instruction 1, PC unadvanced at raise time; info repeats the PC.
+	if got := it.Mem(0x6000 + descCause); got != CauseDivZero {
+		t.Fatalf("cause = %d, want %d", got, CauseDivZero)
+	}
+	if got := it.Mem(0x6000 + descPC); got != 1 {
+		t.Fatalf("descriptor PC = %d, want 1", got)
+	}
+	if got := it.Mem(0x6000 + descPTID); got != 0 {
+		t.Fatalf("descriptor ptid = %d, want 0", got)
+	}
+	if th.State != StDisabled {
+		t.Fatal("faulting thread not disabled")
+	}
+}
+
+func TestStartPermissionDenied(t *testing.T) {
+	// TDT row 1 maps to ptid 1 with stop-only permission; start must raise a
+	// TDT fault carrying the needed bit (8) and leave the target disabled.
+	src := `
+main:
+	movi r12, 1
+	start r12
+	halt
+t1:
+	halt
+`
+	prog := asm.MustAssemble("refmodel_test", src)
+	it := New(Config{Threads: 2})
+	it.Poke(0x4000+16*1, 1)
+	it.Poke(0x4000+16*1+8, permStop)
+	th := it.Thread(0)
+	th.Prog = prog
+	th.Regs.PC = prog.MustEntry("main")
+	th.Regs.TDT = 0x4000
+	th.Regs.EDP = 0x6000
+	it.Thread(1).Prog = prog
+	it.Thread(1).Regs.PC = prog.MustEntry("t1")
+	if err := it.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	it.Run(100000)
+	if got := it.Mem(0x6000 + descCause); got != CauseTDTFault {
+		t.Fatalf("cause = %d, want %d", got, CauseTDTFault)
+	}
+	if got := it.Mem(0x6000 + descInfo); got != permStart {
+		t.Fatalf("info = %d, want needed-permission bit %d", got, permStart)
+	}
+	if it.Thread(1).State != StDisabled || it.Thread(1).Starts != 0 {
+		t.Fatal("target must remain disabled after denied start")
+	}
+}
+
+func TestColdThenWarmAccessTiming(t *testing.T) {
+	// Two loads of the same line: first pays ColdAccess, second WarmAccess.
+	// With LD base latency 1, the deltas are visible in LastHalt.
+	src := `
+main:
+	movi r10, 4096
+	ld r1, [r10+0]
+	ld r2, [r10+0]
+	halt
+`
+	cfg := Config{Threads: 1, ColdAccess: 258, WarmAccess: 4, StartLatency: 20}
+	it := run(t, cfg, src, []string{"main"}, []int{0}, 100000)
+	// boot(20) + movi(1) + ld cold(1+258) + ld warm(1+4) + halt at that point.
+	want := int64(20 + 1 + 259 + 5)
+	if got := it.Thread(0).LastHalt; got != want {
+		t.Fatalf("LastHalt = %d, want %d", got, want)
+	}
+}

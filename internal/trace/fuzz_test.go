@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzTraceRoundTrip drives the tracer with arbitrary names, arguments, and
+// timestamps (including the int64 extremes that once broke appendTS) and
+// requires WriteJSON to emit well-formed JSON that decodes back to the same
+// number of trace events.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("core0", "ptid 1", "exec", "detail", int64(0), int64(1), int64(42))
+	f.Add("m", "t", "span\"with\\quotes", "\x00\x1f", int64(-1), int64(3), int64(-7))
+	f.Add("p", "n", "x", "", int64(math.MinInt64), int64(math.MaxInt64), int64(math.MinInt64))
+	f.Add("", "", "", "", int64(math.MaxInt64), int64(math.MinInt64), int64(0))
+	f.Fuzz(func(t *testing.T, process, track, name, arg string, at, dur, value int64) {
+		tr := New()
+		tk := tr.NewTrack(process, track)
+		tr.BeginArg(tk, name, arg, at)
+		tr.End(tk, at+dur)
+		tr.Complete(tk, name, at, dur)
+		tr.InstantArg(tk, name, arg, at)
+		tr.Count(tk, name, at, value)
+		fl := tr.NewFlow()
+		tr.FlowStart(tk, name, at, fl)
+		tr.FlowEnd(tk, name, at+dur, fl)
+
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+		}
+		// 2 metadata events (process + thread name) plus the 7 emitted above.
+		if got := len(doc.TraceEvents); got != 9 {
+			t.Fatalf("decoded %d events, want 9", got)
+		}
+	})
+}

@@ -17,16 +17,18 @@ import (
 
 const cyclesPerMicro = 3000
 
-// appendTS renders a cycle timestamp as "<us>.<ns:3digits>".
+// appendTS renders a cycle timestamp as "<us>.<ns:3digits>". The magnitude
+// arithmetic runs in uint64 so math.MinInt64 (whose int64 negation overflows
+// back to itself) still renders as a well-formed number.
 func appendTS(b []byte, cycles int64) []byte {
-	neg := cycles < 0
-	if neg {
+	u := uint64(cycles)
+	if cycles < 0 {
 		b = append(b, '-')
-		cycles = -cycles
+		u = -u
 	}
-	us := cycles / cyclesPerMicro
-	ns := (cycles % cyclesPerMicro) / 3
-	b = strconv.AppendInt(b, us, 10)
+	us := u / cyclesPerMicro
+	ns := (u % cyclesPerMicro) / 3
+	b = strconv.AppendUint(b, us, 10)
 	b = append(b, '.', byte('0'+ns/100), byte('0'+ns/10%10), byte('0'+ns%10))
 	return b
 }

@@ -6,7 +6,11 @@
 #   2. go vet          — static checks
 #   3. go build        — every package, including examples and cmds
 #   4. go test -race   — the full suite under the race detector
-#   5. golden diff     — `nocsim -all` must be byte-identical to the
+#   5. fuzz smoke      — 10s of coverage-guided fuzzing per fuzz target,
+#                        on top of the checked-in corpora
+#   6. diff sweep      — 200 fresh seeds through the engine-vs-reference
+#                        differential harness (DESIGN.md §9)
+#   7. golden diff     — `nocsim -all` must be byte-identical to the
 #                        committed results_full.txt (skip with SKIP_GOLDEN=1
 #                        when the caller performs its own golden run)
 #
@@ -30,6 +34,13 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke (10s per target) =="
+go test -run '^$' -fuzz '^FuzzAsmParse$' -fuzztime 10s ./internal/asm
+go test -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 10s ./internal/trace
+
+echo "== differential sweep (200 seeds) =="
+NOCS_DIFF_N=200 go test -count=1 -run '^TestDifferentialSweep$' ./internal/refmodel/diff
 
 if [ "${SKIP_GOLDEN:-0}" != "1" ]; then
     echo "== determinism: nocsim -all vs results_full.txt =="
