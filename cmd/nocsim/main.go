@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"nocs/internal/bench"
+	"nocs/internal/faultinject"
 	"nocs/internal/trace"
 )
 
@@ -38,6 +39,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after all runs) to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev); forces -parallel 1")
+		faults     = flag.String("faults", "", `fault-injection plan for fault-aware experiments (F2, F16): "default" arms the standard seeded plan, "" runs fault-free`)
 	)
 	flag.Parse()
 
@@ -77,6 +79,15 @@ func main() {
 	}
 
 	cfg := bench.RunConfig{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	switch *faults {
+	case "":
+	case "default":
+		plan := faultinject.Default()
+		cfg.Faults = &plan
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -faults plan %q (want \"default\" or empty)\n", *faults)
+		os.Exit(2)
+	}
 	if *traceOut != "" {
 		cfg.Tracer = trace.New()
 		if *parallel > 1 {

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 
+	"nocs/internal/faultinject"
+	"nocs/internal/machine"
 	"nocs/internal/metrics"
 	"nocs/internal/trace"
 )
@@ -31,6 +33,25 @@ type RunConfig struct {
 	// experiments build (F1, F7). The tracer is single-threaded, so a
 	// non-nil Tracer forces serial execution regardless of Parallel.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, arms deterministic seeded fault injection
+	// (DESIGN.md §10) on the machines built by fault-aware experiments
+	// (F2's mwait path, F16). nil keeps every machine fault-free and every
+	// table byte-identical to the plain run.
+	Faults *faultinject.Plan
+}
+
+// NewMachine builds an experiment machine, threading the config's fault
+// plan and tracer through the machine options. Experiments constructing
+// machines this way get `-faults` and `-trace` composition for free:
+// injected faults appear as instants on the machine's faults track.
+func (cfg RunConfig) NewMachine(opts ...machine.Option) *machine.Machine {
+	if cfg.Faults != nil {
+		opts = append(opts, machine.WithFaultPlan(*cfg.Faults))
+	}
+	if cfg.Tracer != nil {
+		opts = append(opts, machine.WithTracer(cfg.Tracer))
+	}
+	return machine.New(opts...)
 }
 
 // DefaultConfig is the reproduction configuration used by the CLI.

@@ -6,6 +6,7 @@ import (
 	"nocs/internal/asm"
 	"nocs/internal/core"
 	"nocs/internal/device"
+	"nocs/internal/faultinject"
 	"nocs/internal/hwthread"
 	"nocs/internal/irq"
 	"nocs/internal/kernel"
@@ -40,6 +41,7 @@ type f2Result struct {
 	latency *metrics.Histogram
 	appWork uint64 // completed app-work quanta (× f2AppChunk cycles of useful work)
 	served  int
+	faults  faultinject.Stats // injected-fault counters (zero when faults off)
 }
 
 // f2AppThreads starts two background application threads doing chunked work
@@ -80,8 +82,11 @@ func f2Arrivals(m *machine.Machine, nic *device.NIC, n int, meanGap float64, see
 }
 
 // runF2Mwait measures the mwait-service-thread configuration at one load.
+// This is the fault-aware path: with RunConfig.Faults set, the machine takes
+// delayed/dropped DMA completions and spurious wakes, and the service thread
+// must still serve every packet (the engine's re-arm and redelivery paths).
 func runF2Mwait(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPtids []hwthread.PTID) (*f2Result, error) {
-	m := machine.New()
+	m := cfg.NewMachine()
 	k := kernel.NewNocs(m.Core(0))
 	nic := f1NIC(m, device.Signal{})
 	r := &f2Result{latency: metrics.NewHistogram()}
@@ -102,6 +107,7 @@ func runF2Mwait(cfg RunConfig, n int, meanGap float64, horizon sim.Cycles, appPt
 		return nil, m.Fatal()
 	}
 	r.appWork = *chunks
+	r.faults = m.FaultInjector().Stats()
 	return r, nil
 }
 
@@ -222,6 +228,14 @@ func runF2(cfg RunConfig) (*Result, error) {
 		}
 	}
 	res := &Result{Tables: []*metrics.Table{t}}
+	if cfg.Faults != nil {
+		var agg faultinject.Stats
+		for _, r := range results {
+			agg.Add(r.faults)
+		}
+		res.Notes = append(res.Notes,
+			"fault injection armed on the mwait cells: "+agg.String()+" — served counts above include faulted runs")
+	}
 	res.Notes = append(res.Notes,
 		"mwait gives polling-class latency at low/mid load and the best app throughput at every load",
 		"polling's app-throughput deficit is the dedicated core the paper says it wastes",

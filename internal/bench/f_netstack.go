@@ -34,9 +34,13 @@ func runF16(cfg RunConfig) (*Result, error) {
 
 	// --- nocs: NIC DMA → stack thread → socket doorbell → app thread →
 	// send mailbox → stack thread → TX ring. All monitor wakes, no kernel.
+	// With RunConfig.Faults set the same path runs against delayed/dropped
+	// DMA, spurious wakes, and injected request faults; the echo count must
+	// still reach n — degradation, not loss.
+	var faultNote string
 	nocsHist := metrics.NewHistogram()
 	{
-		m := machine.New()
+		m := cfg.NewMachine()
 		k := kernel.NewNocs(m.Core(0))
 		nic, err := m.NewNIC(device.NICConfig{
 			RingBase: 0x100000, BufBase: 0x200000,
@@ -123,6 +127,10 @@ next:
 		if done != n {
 			return nil, fmt.Errorf("F16 nocs: echoed %d of %d", done, n)
 		}
+		if cfg.Faults != nil {
+			faultNote = fmt.Sprintf("fault injection armed: %s — all %d echoes still completed",
+				m.FaultInjector().Stats(), done)
+		}
 	}
 
 	// --- legacy: IRQ into the kernel stack, scheduler wake of the app
@@ -156,6 +164,9 @@ next:
 	t.Row("legacy kernel stack (IRQ + sched + syscall)", p50l, meanl, sim.Cycles(p50l).Nanos(0))
 
 	res := &Result{Tables: []*metrics.Table{t}}
+	if faultNote != "" {
+		res.Notes = append(res.Notes, faultNote)
+	}
 	if nocsHist.Quantile(0.5) >= legacyHist.Quantile(0.5) {
 		res.Notes = append(res.Notes, "WARNING: nocs echo path not faster")
 	}

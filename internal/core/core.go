@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/hwthread"
 	"nocs/internal/isa"
 	"nocs/internal/mem"
@@ -163,6 +164,10 @@ type Core struct {
 	trName string
 	trOpen []bool
 
+	// inj is the machine's fault injector (nil = off); kernel services and
+	// the state store reach it through the core.
+	inj *faultinject.Injector
+
 	fatal   error
 	retired uint64
 	starts  uint64
@@ -264,6 +269,17 @@ func (c *Core) Threads() *hwthread.Manager { return c.threads }
 
 // StateStore returns the thread-state storage hierarchy.
 func (c *Core) StateStore() *statestore.Store { return c.store }
+
+// SetFaultInjector arms fault injection on the core and its state store
+// (machine wiring; a nil injector disarms).
+func (c *Core) SetFaultInjector(inj *faultinject.Injector) {
+	c.inj = inj
+	c.store.SetFaultInjector(inj)
+}
+
+// FaultInjector returns the machine's fault injector (nil when faults are
+// off) so services built on the core can poll it.
+func (c *Core) FaultInjector() *faultinject.Injector { return c.inj }
 
 // Pipeline returns the SMT issue model.
 func (c *Core) Pipeline() *pipeline.Pipeline { return c.pipe }
@@ -522,6 +538,18 @@ func (c *Core) WaitArmed(t *hwthread.Context) bool {
 func (c *Core) ArmAndWait(t *hwthread.Context, addrs ...int64) bool {
 	c.ArmWatches(t, addrs...)
 	return c.WaitArmed(t)
+}
+
+// InjectSpuriousWake delivers a spurious monitor wakeup to ptid p if it is
+// blocked in mwait with watches armed, and reports whether a wake was
+// delivered. This is the deterministic entry the differential harness uses
+// to apply a precomputed fault schedule; probabilistic injection goes
+// through the machine's fault plan instead.
+func (c *Core) InjectSpuriousWake(p hwthread.PTID) bool {
+	if p < 0 || int(p) >= len(c.waiters) {
+		return false
+	}
+	return c.mon.InjectWake(c.waiters[p])
 }
 
 // StopThread disables a ptid directly (supervisor/native path), cancelling

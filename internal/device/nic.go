@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/mem"
 	"nocs/internal/sim"
 )
@@ -137,7 +138,13 @@ type NIC struct {
 	transmitted uint64
 	// OnTransmit, if set, observes each transmitted payload (the "wire").
 	OnTransmit func(payload []int64)
+
+	// inj injects delayed/reordered/dropped DMA completions (nil = off).
+	inj *faultinject.Injector
 }
+
+// SetFaultInjector arms DMA-completion fault injection (machine wiring).
+func (n *NIC) SetFaultInjector(inj *faultinject.Injector) { n.inj = inj }
 
 // NewNIC builds a NIC writing through the given DMA port. The config is
 // validated after defaults are applied; a mis-laid-out device is an error,
@@ -161,8 +168,17 @@ func (n *NIC) TailAddr() int64 { return n.cfg.TailAddr }
 // the RX tail (doorbell-last ordering), then raises the legacy vector if
 // configured. It returns the simulated time at which the tail write lands.
 func (n *NIC) Deliver(payload []int64) sim.Cycles {
-	at := n.eng.Now() + n.cfg.DMACycles
-	n.eng.After(n.cfg.DMACycles, "nic-rx", func() {
+	d := n.cfg.DMACycles
+	// Fault injection: a delayed completion lands late (and may overtake or
+	// be overtaken by its neighbors); a dropped one is lost on the wire-to-
+	// memory path and redelivered by the device's recovery logic. Either way
+	// the packet eventually arrives — the ring state is read at fire time,
+	// so reordered completions still write consistent descriptors.
+	if extra, _ := n.inj.DMADelivery("nic-rx"); extra > 0 {
+		d += extra
+	}
+	at := n.eng.Now() + d
+	n.eng.After(d, "nic-rx", func() {
 		tail := n.dma.Read(n.cfg.TailAddr)
 		if n.cfg.HeadAddr != 0 {
 			head := n.dma.Read(n.cfg.HeadAddr)
@@ -225,7 +241,11 @@ func (n *NIC) MMIOWrite(addr int64, val int64) {
 		slot := n.txHead % int64(n.cfg.TXEntries)
 		n.txHead++
 		seq := n.txHead
-		n.eng.After(n.cfg.TXCycles, "nic-tx", func() {
+		lat := n.cfg.TXCycles
+		if extra, _ := n.inj.DMADelivery("nic-tx"); extra > 0 {
+			lat += extra
+		}
+		n.eng.After(lat, "nic-tx", func() {
 			desc := n.cfg.TXRingBase + slot*txDescBytes
 			if n.OnTransmit != nil {
 				buf := n.dma.Read(desc + txDescBuf)
@@ -238,7 +258,12 @@ func (n *NIC) MMIOWrite(addr int64, val int64) {
 			}
 			n.dma.Write(desc+txDescDone, 1)
 			if n.cfg.TXCompAddr != 0 {
-				n.dma.Write(n.cfg.TXCompAddr, seq)
+				if n.inj != nil && n.dma.Read(n.cfg.TXCompAddr) > seq {
+					// A reordered (delayed) completion must not walk the
+					// monotonic completion counter backwards.
+				} else {
+					n.dma.Write(n.cfg.TXCompAddr, seq)
+				}
 			}
 			n.transmitted++
 			n.sig.raise()

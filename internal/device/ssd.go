@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/mem"
 	"nocs/internal/sim"
 )
@@ -82,7 +83,13 @@ type SSD struct {
 	sqTail    int64 // last doorbell value
 	completed uint64
 	inFlight  int
+
+	// inj injects delayed/reordered/dropped completions (nil = off).
+	inj *faultinject.Injector
 }
+
+// SetFaultInjector arms completion fault injection (machine wiring).
+func (s *SSD) SetFaultInjector(inj *faultinject.Injector) { s.inj = inj }
 
 // Validate checks the configuration after defaults are applied.
 func (c *SSDConfig) Validate() error {
@@ -156,6 +163,12 @@ func (s *SSD) consume() {
 		s.sqHead++
 		s.inFlight++
 		lat := s.cfg.BaseLatency + s.cfg.PerWord*sim.Cycles(length)
+		// Fault injection: completions can land late or be dropped and
+		// redelivered; the CQ tail is an increment so reordered completions
+		// keep it consistent.
+		if extra, _ := s.inj.DMADelivery("ssd-done"); extra > 0 {
+			lat += extra
+		}
 		completionSlot := s.sqHead - 1 // preserves submission order slots
 		s.eng.After(lat, "ssd-done", func() {
 			status := int64(0)

@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/mem"
 	"nocs/internal/sim"
 )
@@ -29,7 +30,13 @@ type Timer struct {
 	running bool
 	ticks   uint64
 	ev      sim.Handle
+
+	// inj injects delayed/dropped MSI counter writes (nil = off).
+	inj *faultinject.Injector
 }
+
+// SetFaultInjector arms MSI-delivery fault injection (machine wiring).
+func (t *Timer) SetFaultInjector(inj *faultinject.Injector) { t.inj = inj }
 
 // Validate checks the configuration after defaults are applied.
 func (c *TimerConfig) Validate() error {
@@ -105,6 +112,17 @@ func (t *Timer) OnEvent() {
 
 func (t *Timer) tick() {
 	t.ticks++
+	// Fault injection: the MSI-style counter write can land late (delayed)
+	// or be lost and re-sent by the delivery recovery (dropped). The value
+	// is read at fire time, so an MSI overtaken by a later tick collapses
+	// into one monotonic write — a coalesced interrupt, never a lost one.
+	if extra, drop := t.inj.DMADelivery("msi"); drop || extra > 0 {
+		t.eng.After(extra, "fault-msi", func() {
+			t.dma.Write(t.cfg.CounterAddr, int64(t.ticks))
+			t.sig.raise()
+		})
+		return
+	}
 	t.dma.Write(t.cfg.CounterAddr, int64(t.ticks))
 	t.sig.raise()
 }

@@ -27,6 +27,7 @@ type Nocs struct {
 	unknown   uint64
 	services  int
 	nativeSeq int
+	reArms    uint64
 }
 
 // NewNocs installs the nocs personality on a core. Hardware threads are
@@ -85,7 +86,10 @@ func (k *Nocs) SpawnService(name string, watch func() []int64, fn ServiceFunc) (
 	}
 	k.nativeSeq++
 	sym := fmt.Sprintf("nocs.svc.%d.%s", k.nativeSeq, name)
+	parked := false // true while the service last blocked in mwait
 	k.c.RegisterNative(sym, func(c *core.Core, t *hwthread.Context) sim.Cycles {
+		fromPark := parked
+		parked = false
 		// Race-free doorbell idiom: arm BEFORE draining, so a write that
 		// lands while fn processes is caught by the monitor pending flag
 		// and the eventual WaitArmed completes immediately instead of
@@ -103,7 +107,16 @@ func (k *Nocs) SpawnService(name string, watch func() []int64, fn ServiceFunc) (
 			// service do work in zero virtual time.
 			return cost
 		}
-		c.WaitArmed(t)
+		if fromPark {
+			// The service was woken out of mwait and found no work: a
+			// spurious (or already-coalesced) wakeup. The graceful response
+			// is exactly this pass — the watches were re-armed above and
+			// the thread parks again below; count it as evidence.
+			k.reArms++
+		}
+		if c.WaitArmed(t) {
+			parked = true
+		}
 		// Blocked: the thread re-enters this native on wakeup.
 		// Not blocked (write landed since arming): re-enter immediately.
 		return cost
@@ -123,6 +136,12 @@ func (k *Nocs) SpawnService(name string, watch func() []int64, fn ServiceFunc) (
 
 // Services returns the number of spawned service threads.
 func (k *Nocs) Services() int { return k.services }
+
+// ReArms counts service passes that woke from mwait, found no work, and
+// re-armed — the kernel's graceful response to spurious or stale-coalesced
+// wakeups. Benign arm-before-drain races also land here; under a fault
+// plan the count grows with injected spurious wakes.
+func (k *Nocs) ReArms() uint64 { return k.reArms }
 
 // ServeSyscalls spawns the dedicated syscall-service thread (§2
 // "Exception-less System Calls"): it watches the exception-descriptor

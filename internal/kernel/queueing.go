@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strconv"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/sim"
 	"nocs/internal/trace"
 	"nocs/internal/workload"
@@ -88,11 +89,19 @@ type FCFSServer struct {
 	K          int
 	Overhead   sim.Cycles
 	OnComplete func(Completion)
+	// Faults injects mid-request thread faults (nil = off). A faulted
+	// request runs half its service, writes an exception descriptor, and is
+	// requeued with its full demand plus the fault penalty — degraded
+	// latency, guaranteed completion. Each request faults at most once, so
+	// liveness is deterministic, not probabilistic.
+	Faults *faultinject.Injector
 
-	queue []workload.Request
-	busy  int
-	done  uint64
-	lanes *laneSet
+	queue       []workload.Request
+	busy        int
+	done        uint64
+	faulted     uint64
+	faultedOnce map[int]bool
+	lanes       *laneSet
 }
 
 // NewFCFS builds an FCFS server pool.
@@ -126,12 +135,54 @@ func (s *FCFSServer) Submit(r workload.Request) {
 // Completed returns the number of finished requests.
 func (s *FCFSServer) Completed() uint64 { return s.done }
 
+// Faulted returns the number of injected mid-request faults taken.
+func (s *FCFSServer) Faulted() uint64 { return s.faulted }
+
+// pollFault decides whether request r faults this dispatch (at most once
+// per request ID across requeues).
+func (s *FCFSServer) pollFault(r workload.Request) (sim.Cycles, bool) {
+	if s.Faults == nil || s.faultedOnce[r.ID] {
+		return 0, false
+	}
+	pen, ok := s.Faults.RequestFault()
+	if ok {
+		if s.faultedOnce == nil {
+			s.faultedOnce = make(map[int]bool)
+		}
+		s.faultedOnce[r.ID] = true
+	}
+	return pen, ok
+}
+
 func (s *FCFSServer) dispatch() {
 	for s.busy < s.K && len(s.queue) > 0 {
 		r := s.queue[0]
 		s.queue = s.queue[1:]
 		s.busy++
 		total := s.Overhead + r.Demand
+		if pen, ok := s.pollFault(r); ok {
+			// The request faults mid-service: the hardware writes an
+			// exception descriptor and disables the thread; the kernel's
+			// response is to requeue the request (with the descriptor-
+			// handling penalty folded into its demand) rather than lose it.
+			partial := total / 2
+			if partial < 1 {
+				partial = 1
+			}
+			s.faulted++
+			s.eng.After(partial, "fcfs-fault", func() {
+				s.busy--
+				if s.lanes != nil {
+					now := int64(s.eng.Now())
+					s.lanes.span("fault", "req"+strconv.Itoa(r.ID), now-int64(partial), now)
+				}
+				r2 := r
+				r2.Demand += pen
+				s.queue = append(s.queue, r2)
+				s.dispatch()
+			})
+			continue
+		}
 		s.eng.After(total, "fcfs-done", func() {
 			s.busy--
 			s.done++
@@ -163,6 +214,11 @@ type PSServer struct {
 	// models a finite hardware-thread pool: arrivals beyond the cap queue
 	// FCFS until a thread frees up (ablation A1).
 	MaxActive int
+	// Faults injects mid-request thread faults (nil = off). A faulted
+	// request reaches half its service, takes an exception descriptor, and
+	// restarts on the same hardware thread with full demand plus the fault
+	// penalty. At most one fault per request: completion is guaranteed.
+	Faults *faultinject.Injector
 
 	active     map[int]*psReq
 	pending    []workload.Request
@@ -170,6 +226,7 @@ type PSServer struct {
 	nextEv     sim.Handle
 	nextTarget *psReq
 	done       uint64
+	faulted    uint64
 
 	lanes    *laneSet
 	tr       *trace.Tracer
@@ -179,6 +236,9 @@ type PSServer struct {
 type psReq struct {
 	r         workload.Request
 	remaining float64
+	// faultPen > 0 marks a request that will fault when its (halved)
+	// remaining drains; the value is the requeue penalty.
+	faultPen sim.Cycles
 }
 
 // NewPS builds a processor-sharing server of capacity c.
@@ -212,6 +272,9 @@ func (s *PSServer) traceActive() {
 // Completed returns the number of finished requests.
 func (s *PSServer) Completed() uint64 { return s.done }
 
+// Faulted returns the number of injected mid-request faults taken.
+func (s *PSServer) Faulted() uint64 { return s.faulted }
+
 // Active returns the number of in-service requests.
 func (s *PSServer) Active() int { return len(s.active) }
 
@@ -230,7 +293,19 @@ func (s *PSServer) Submit(r workload.Request) {
 }
 
 func (s *PSServer) admit(r workload.Request) {
-	s.active[r.ID] = &psReq{r: r, remaining: float64(s.Overhead + r.Demand)}
+	a := &psReq{r: r, remaining: float64(s.Overhead + r.Demand)}
+	if s.Faults != nil {
+		if pen, ok := s.Faults.RequestFault(); ok {
+			// Fault halfway through service; the requeue happens in OnEvent
+			// when the halved remaining drains.
+			a.remaining /= 2
+			if a.remaining < 1 {
+				a.remaining = 1
+			}
+			a.faultPen = pen
+		}
+	}
+	s.active[r.ID] = a
 }
 
 // rate returns the current per-request service rate.
@@ -296,6 +371,16 @@ func (s *PSServer) OnEvent() {
 	var finished []*psReq
 	for id, a := range s.active {
 		if a.remaining <= 1e-9 || a == target {
+			if a.faultPen > 0 {
+				// Mid-request fault: exception descriptor written, thread
+				// restarted on the same hardware thread with full demand
+				// plus the penalty. The request stays active — degraded,
+				// never lost.
+				a.remaining = float64(s.Overhead + a.r.Demand + a.faultPen)
+				a.faultPen = 0
+				s.faulted++
+				continue
+			}
 			delete(s.active, id)
 			finished = append(finished, a)
 		}

@@ -18,6 +18,7 @@ import (
 
 	"nocs/internal/core"
 	"nocs/internal/device"
+	"nocs/internal/faultinject"
 	"nocs/internal/irq"
 	"nocs/internal/mem"
 	"nocs/internal/monitor"
@@ -46,6 +47,12 @@ type Config struct {
 	// Name prefixes this machine's trace track groups (default "machine"),
 	// so several machines can share one tracer without colliding.
 	Name string
+	// FaultPlan, when enabled, arms deterministic fault injection across
+	// every layer of the machine: delayed/reordered/dropped DMA and MSI
+	// completions, spurious and coalesced monitor wakeups, transient
+	// state-transfer errors, and mid-request thread faults (see
+	// internal/faultinject). The zero plan injects nothing.
+	FaultPlan faultinject.Plan
 }
 
 // Option customizes a machine under construction.
@@ -80,6 +87,12 @@ func WithTracer(t *trace.Tracer) Option { return func(c *Config) { c.Tracer = t 
 // WithName sets the machine's trace name prefix.
 func WithName(n string) Option { return func(c *Config) { c.Name = n } }
 
+// WithFaultPlan arms deterministic, seeded fault injection on every layer
+// of the machine (devices, monitor, state store, kernel services). The
+// zero plan is a no-op; use faultinject.Default() for the standard
+// adversarial mix.
+func WithFaultPlan(p faultinject.Plan) Option { return func(c *Config) { c.FaultPlan = p } }
+
 // WithConfig replaces the entire configuration — the escape hatch for
 // callers that build a Config by hand. Apply it first if combined with
 // other options, since it overwrites all previous settings (including the
@@ -96,6 +109,7 @@ type Machine struct {
 
 	tr   *trace.Tracer
 	name string
+	inj  *faultinject.Injector
 	// Per-kind device counters, used only to name trace tracks
 	// ("nic0", "timer1", ...).
 	nNIC, nTimer, nSSD int
@@ -133,6 +147,15 @@ func New(opts ...Option) *Machine {
 		mon.SetTracer(tr, now, cfg.Name+"/monitor")
 		mach.irq.SetTracer(tr, cfg.Name+"/irq")
 	}
+	if inj := faultinject.New(cfg.FaultPlan); inj != nil {
+		mach.inj = inj
+		if tr := cfg.Tracer; tr != nil {
+			inj.SetTracer(tr, func() int64 { return int64(eng.Now()) }, cfg.Name+"/faults")
+		}
+		mon.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) {
+			eng.After(d, name, fn)
+		})
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		cc := cfg.Core
 		cc.ID = i
@@ -140,7 +163,11 @@ func New(opts ...Option) *Machine {
 			cc.Tracer = cfg.Tracer
 			cc.TraceName = fmt.Sprintf("%s/core%d", cfg.Name, i)
 		}
-		mach.cores = append(mach.cores, core.New(cc, eng, m, mon))
+		c := core.New(cc, eng, m, mon)
+		if mach.inj != nil {
+			c.SetFaultInjector(mach.inj)
+		}
+		mach.cores = append(mach.cores, c)
 	}
 	return mach
 }
@@ -170,6 +197,9 @@ func (m *Machine) IRQ() *irq.Controller { return m.irq }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (m *Machine) Tracer() *trace.Tracer { return m.tr }
+
+// FaultInjector returns the armed fault injector (nil when faults are off).
+func (m *Machine) FaultInjector() *faultinject.Injector { return m.inj }
 
 // Cores returns the core count.
 func (m *Machine) Cores() int { return len(m.cores) }
@@ -226,6 +256,7 @@ func (m *Machine) NewNIC(cfg device.NICConfig, sig device.Signal) (*device.NIC, 
 	if err != nil {
 		return nil, err
 	}
+	n.SetFaultInjector(m.inj)
 	if db := n.Config().TXDoorbell; db != 0 {
 		if err := m.mem.MapMMIO(db, 8, n); err != nil {
 			return nil, fmt.Errorf("machine: mapping NIC TX doorbell: %w", err)
@@ -243,6 +274,7 @@ func (m *Machine) NewTimer(cfg device.TimerConfig, sig device.Signal) (*device.T
 	if err != nil {
 		return nil, err
 	}
+	t.SetFaultInjector(m.inj)
 	m.wireDMA(dma, fmt.Sprintf("timer%d", m.nTimer))
 	m.nTimer++
 	return t, nil
@@ -255,6 +287,7 @@ func (m *Machine) NewSSD(cfg device.SSDConfig, sig device.Signal) (*device.SSD, 
 	if err != nil {
 		return nil, err
 	}
+	ssd.SetFaultInjector(m.inj)
 	if err := m.mem.MapMMIO(ssd.Config().DoorbellAddr, 8, ssd); err != nil {
 		return nil, fmt.Errorf("machine: mapping SSD doorbell: %w", err)
 	}

@@ -19,7 +19,9 @@ package monitor
 import (
 	"strconv"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/mem"
+	"nocs/internal/sim"
 	"nocs/internal/trace"
 )
 
@@ -97,10 +99,18 @@ type Engine struct {
 	trNow   func() int64
 	trTrack trace.TrackID
 
+	// Fault injection (nil inj = off). after schedules deferred deliveries
+	// on the machine's event engine — the monitor has no clock or engine of
+	// its own, so the machine supplies both when it arms a fault plan.
+	inj   *faultinject.Injector
+	after func(d sim.Cycles, name string, fn func())
+
 	wakeups   uint64
 	immediate uint64 // mwait completed without blocking (pending write)
 	dropped   uint64 // writes invisible due to DMAVisible=false
 	evicted   uint64 // watches displaced by the MaxWatches budget
+	spurious  uint64 // injected spurious wakes actually delivered
+	coalesced uint64 // wake batches delivered late by injected coalescing
 }
 
 // NewEngine returns a monitor engine with full (paper-semantics) visibility.
@@ -122,6 +132,14 @@ func (e *Engine) SetTracer(tr *trace.Tracer, now func() int64, process string) {
 	if tr != nil {
 		e.trTrack = tr.NewTrack(process, "watches")
 	}
+}
+
+// SetFaultInjector arms fault injection: spurious wakes after blocking
+// waits and coalesced (deferred) wake batches. after schedules a callback
+// on the machine's event engine.
+func (e *Engine) SetFaultInjector(inj *faultinject.Injector, after func(d sim.Cycles, name string, fn func())) {
+	e.inj = inj
+	e.after = after
 }
 
 // traceFire records one wakeup delivery and stashes its flow for the core's
@@ -213,6 +231,35 @@ func (e *Engine) Wait(w Waiter) (blocked bool) {
 		return false
 	}
 	s.waiting = true
+	if e.inj != nil && e.after != nil {
+		if d, ok := e.inj.SpuriousWake(); ok {
+			e.after(d, "fault-spurious-wake", func() { e.InjectWake(w) })
+		}
+	}
+	return true
+}
+
+// InjectWake delivers a spurious wakeup to w: the monitor reports a write on
+// w's oldest armed address that never happened. Like any wake it consumes
+// the watch set, so a correct waiter must re-arm before re-checking — the
+// degradation path the kernel service loop exercises. Delivered only if w is
+// still blocked; a waiter that was legitimately woken in the meantime is
+// left alone (returns false). Plan-driven injection (SetFaultInjector) and
+// the differential harness's precomputed fault schedules both land here.
+func (e *Engine) InjectWake(w Waiter) bool {
+	s := e.watchers[w]
+	if s == nil || !s.waiting || len(s.order) == 0 {
+		return false
+	}
+	addr := s.order[0]
+	e.disarm(w, s)
+	e.wakeups++
+	e.spurious++
+	if e.tr != nil {
+		e.traceFire(addr, mem.SrcCPU, false)
+	}
+	w.MonitorWake(addr, 0, mem.SrcCPU)
+	e.tr.StashFlow(0)
 	return true
 }
 
@@ -271,7 +318,26 @@ func (e *Engine) ObserveWrite(addr, val int64, src mem.WriteSource) {
 			s.pAddr, s.pVal, s.pSrc = addr, val, src
 		}
 	}
-	for _, w := range toWake {
+	if len(toWake) > 0 && e.inj != nil && e.after != nil {
+		if d, ok := e.inj.CoalesceWake(); ok {
+			// Deferred delivery: the monitor batches this notification and
+			// releases it late. Waiters woken by another write in the
+			// meantime are skipped inside deliverBatch — the wake is
+			// coalesced with that one, never lost.
+			batch := append([]Waiter(nil), toWake...)
+			e.after(d, "fault-coalesced-wake", func() {
+				e.coalesced++
+				e.deliverBatch(batch, addr, val, src)
+			})
+			return
+		}
+	}
+	e.deliverBatch(toWake, addr, val, src)
+}
+
+// deliverBatch wakes every still-waiting waiter in the batch.
+func (e *Engine) deliverBatch(batch []Waiter, addr, val int64, src mem.WriteSource) {
+	for _, w := range batch {
 		s := e.watchers[w]
 		if s == nil || !s.waiting {
 			continue // a previous wake in this batch may have disturbed it
@@ -294,6 +360,12 @@ func (e *Engine) Stats() (wakeups, immediate, dropped uint64) {
 
 // Evicted returns the number of watches displaced by the MaxWatches budget.
 func (e *Engine) Evicted() uint64 { return e.evicted }
+
+// InjectedWakes returns (spurious wakes delivered, wake batches delivered
+// late by injected coalescing). Both are zero without a fault plan.
+func (e *Engine) InjectedWakes() (spurious, coalesced uint64) {
+	return e.spurious, e.coalesced
+}
 
 // Waiting reports whether w is currently blocked in mwait.
 func (e *Engine) Waiting(w Waiter) bool {

@@ -4,7 +4,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/mem"
+	"nocs/internal/sim"
 )
 
 type fakeWaiter struct {
@@ -358,5 +360,151 @@ func TestWakeOrderIsArmOrder(t *testing.T) {
 				t.Fatalf("trial %d: wake order %v, want arm order %v", trial, order, armOrder)
 			}
 		}
+	}
+}
+
+// rearmingWaiter models the kernel service loop: every wake re-arms the
+// watch and waits again.
+func rearmingWaiter(e *Engine, addr int64) *fakeWaiter {
+	w := &fakeWaiter{}
+	w.rearm = func(w *fakeWaiter) {
+		e.Arm(w, addr)
+		e.Wait(w)
+	}
+	return w
+}
+
+// A spurious wake consumes the watch set; a real write arriving right after
+// the waiter re-arms must still be delivered. This is the liveness half of
+// the fault model: injected wakes may waste work but never lose writes.
+func TestSpuriousWakeThenRealWriteNotLost(t *testing.T) {
+	eng := sim.NewEngine(nil)
+	e := NewEngine()
+	inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+
+	w := rearmingWaiter(e, 0x100)
+	e.Arm(w, 0x100)
+	if !e.Wait(w) {
+		t.Fatal("should block")
+	}
+	// Run past the injected wake only (P=1 keeps scheduling more; a bounded
+	// run isolates exactly one).
+	eng.RunUntil(150)
+	if len(w.wakes) != 1 {
+		t.Fatalf("spurious wake not delivered: %+v", w.wakes)
+	}
+	if sp, _ := e.InjectedWakes(); sp != 1 {
+		t.Fatalf("spurious counter %d", sp)
+	}
+	if !e.Waiting(w) {
+		t.Fatal("waiter did not re-arm after the spurious wake")
+	}
+	// The real write lands immediately after the re-arm: must wake.
+	e.ObserveWrite(0x100, 9, mem.SrcDMA)
+	if len(w.wakes) != 2 || w.wakes[1].addr != 0x100 || w.wakes[1].val != 9 || w.wakes[1].src != mem.SrcDMA {
+		t.Fatalf("real write after spurious wake was lost: %+v", w.wakes)
+	}
+}
+
+// The race variant: the real write lands between the post-spurious re-ARM
+// and the re-WAIT. The pending-write buffer must complete the wait
+// immediately — the classic no-lost-wakeup rule holds across injected wakes.
+func TestSpuriousWakeRealWriteInReArmWindow(t *testing.T) {
+	eng := sim.NewEngine(nil)
+	e := NewEngine()
+	inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+
+	w := &fakeWaiter{}
+	w.rearm = func(w *fakeWaiter) {
+		if len(w.wakes) > 1 {
+			return // only the spurious wake re-arms; the race wake stops
+		}
+		e.Arm(w, 0x200)
+		// The write arrives between MONITOR and MWAIT.
+		e.ObserveWrite(0x200, 42, mem.SrcCPU)
+		if e.Wait(w) {
+			t.Error("Wait blocked across a pending write")
+		}
+	}
+	e.Arm(w, 0x200)
+	e.Wait(w)
+	eng.RunUntil(150)
+	if len(w.wakes) != 2 || w.wakes[1].val != 42 {
+		t.Fatalf("write in the re-arm window was lost: %+v", w.wakes)
+	}
+	_, imm, _ := e.Stats()
+	if imm != 1 {
+		t.Fatalf("immediate completions %d, want 1", imm)
+	}
+}
+
+// Same-tick ordering: the injected spurious wake and the real write land on
+// the same cycle. Scheduling order is deterministic (FIFO within a tick), so
+// the spurious wake fires first, the service re-arms, and the real write
+// still lands — exactly two wakes, nothing lost, run after run.
+func TestSpuriousWakeSameTickAsRealWrite(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		eng := sim.NewEngine(nil)
+		e := NewEngine()
+		inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
+		e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+
+		w := rearmingWaiter(e, 0x300)
+		e.Arm(w, 0x300)
+		e.Wait(w) // schedules the spurious wake at t=100
+		eng.At(100, "real-write", func() { e.ObserveWrite(0x300, 5, mem.SrcDMA) })
+		eng.RunUntil(100)
+		if len(w.wakes) != 2 {
+			t.Fatalf("run %d: wakes %+v, want spurious then real", run, w.wakes)
+		}
+		if w.wakes[1].val != 5 || w.wakes[1].src != mem.SrcDMA {
+			t.Fatalf("run %d: real write corrupted: %+v", run, w.wakes[1])
+		}
+	}
+}
+
+// A waiter that was legitimately woken before the injected wake fires is
+// left alone — spurious wakes target only still-blocked waiters.
+func TestSpuriousWakeSkipsWokenWaiter(t *testing.T) {
+	eng := sim.NewEngine(nil)
+	e := NewEngine()
+	inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+
+	w := &fakeWaiter{} // does not re-arm
+	e.Arm(w, 0x400)
+	e.Wait(w)
+	e.ObserveWrite(0x400, 1, mem.SrcCPU) // real wake before the fault fires
+	eng.RunUntil(150)
+	if len(w.wakes) != 1 {
+		t.Fatalf("spurious wake hit a non-waiting waiter: %+v", w.wakes)
+	}
+	if sp, _ := e.InjectedWakes(); sp != 0 {
+		t.Fatalf("spurious counter %d, want 0 (skipped)", sp)
+	}
+}
+
+// A coalesced (deferred) wake batch is delivered late, not dropped.
+func TestCoalescedWakeDeliveredLate(t *testing.T) {
+	eng := sim.NewEngine(nil)
+	e := NewEngine()
+	inj := faultinject.New(faultinject.Plan{Seed: 7, CoalesceP: 1, CoalesceDelay: 200})
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+
+	w := &fakeWaiter{}
+	e.Arm(w, 0x500)
+	e.Wait(w)
+	e.ObserveWrite(0x500, 77, mem.SrcDMA)
+	if len(w.wakes) != 0 {
+		t.Fatal("coalesced wake delivered synchronously")
+	}
+	eng.Run(0)
+	if len(w.wakes) != 1 || w.wakes[0].val != 77 {
+		t.Fatalf("coalesced wake lost: %+v", w.wakes)
+	}
+	if _, co := e.InjectedWakes(); co != 1 {
+		t.Fatalf("coalesced counter %d", co)
 	}
 }

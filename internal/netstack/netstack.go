@@ -22,21 +22,26 @@ import (
 	"fmt"
 
 	"nocs/internal/device"
+	"nocs/internal/faultinject"
 	"nocs/internal/hwthread"
 	"nocs/internal/kernel"
 	"nocs/internal/sim"
 )
 
-// Per-socket receive ring layout at sock.base:
+// Per-socket receive ring layout at sock.base (0x400 bytes per socket):
 //
 //	+0:            doorbell (count of packets ever delivered; monitorable)
 //	+8:            consumer count (application publishes)
 //	+16 + 16*i:    slot i: payload address, payload words
+//	+0x3F8:        NACK/backpressure word (count of ring-full stalls; the
+//	               stack bumps it instead of dropping, so senders and
+//	               debuggers can observe backpressure; monitorable)
 const (
 	sockDoorbell  = 0
 	sockConsumed  = 8
 	sockSlots     = 16
 	sockSlotBytes = 16
+	sockNack      = 0x3F8
 )
 
 // Config lays out the stack's memory.
@@ -68,14 +73,21 @@ type Stack struct {
 	cfg Config
 	k   *kernel.Nocs
 	nic *device.NIC
+	inj *faultinject.Injector
 
-	sockets  map[int64]*Socket // port -> socket
-	rxHead   int64
-	received uint64
-	dropped  uint64 // no socket bound / ring full
-	sent     uint64
-	txSeq    int64
-	ptid     hwthread.PTID
+	sockets map[int64]*Socket // port -> socket
+	order   []*Socket         // bind order, for deterministic watch sets
+	rxHead  int64
+
+	received     uint64
+	dropNoSock   uint64 // no socket bound for the destination port
+	dropMalform  uint64 // descriptor not ready / runt packet
+	backpressure uint64 // ring-full stalls (packets held, not dropped)
+	sent         uint64
+	sendBusy     uint64 // Send refused: mailbox still occupied
+	svcFaults    uint64 // injected mid-packet thread faults absorbed
+	txSeq        int64
+	ptid         hwthread.PTID
 }
 
 // Socket is one bound port's receive ring.
@@ -87,6 +99,16 @@ type Socket struct {
 	// delivered is the stack's authoritative count; the doorbell word in
 	// memory trails it by the in-flight processing time.
 	delivered int64
+	// nacks counts ring-full backpressure events on this socket; mirrored
+	// to the sockNack word in memory.
+	nacks int64
+	// drops counts packets addressed to this socket that were lost (none,
+	// since backpressure replaced ring-full drops; kept for accounting
+	// audits: received + drops must equal what the NIC handed us).
+	drops int64
+	// blocked marks the ring full: the stack stalls and watches the
+	// consumer count until the application catches up.
+	blocked bool
 }
 
 // New spawns the stack service over the given NIC. The NIC must have its
@@ -94,8 +116,18 @@ type Socket struct {
 func New(k *kernel.Nocs, nic *device.NIC, cfg Config) (*Stack, error) {
 	cfg.setDefaults()
 	s := &Stack{cfg: cfg, k: k, nic: nic, sockets: make(map[int64]*Socket)}
+	s.inj = k.Core().FaultInjector()
 	watch := func() []int64 {
-		return []int64{nic.TailAddr(), cfg.SendMailbox}
+		addrs := []int64{nic.TailAddr(), cfg.SendMailbox}
+		// While a ring is full the stack stalls; watching the blocked
+		// socket's consumer count wakes it the moment the application
+		// catches up. The bind-order slice keeps the set deterministic.
+		for _, sock := range s.order {
+			if sock.blocked {
+				addrs = append(addrs, sock.base+sockConsumed)
+			}
+		}
+		return addrs
 	}
 	p, err := k.SpawnService("netstack", watch, func(t *hwthread.Context) sim.Cycles {
 		var cost sim.Cycles
@@ -126,10 +158,16 @@ func (s *Stack) Bind(port int64) (*Socket, error) {
 		idx:  idx,
 	}
 	s.sockets[port] = sock
+	s.order = append(s.order, sock)
 	return sock, nil
 }
 
-// drainRX demuxes new NIC packets into socket rings.
+// drainRX demuxes new NIC packets into socket rings. A full socket ring no
+// longer drops: the stack parks the undelivered packet in the NIC ring
+// (rxHead stalls, so the NIC's own flow control sees the stall too), bumps
+// the socket's NACK word, and watches the consumer count so it resumes the
+// moment the application catches up. Every accepted packet is therefore
+// either delivered or still queued — never silently lost.
 func (s *Stack) drainRX() sim.Cycles {
 	c := s.k.Core()
 	tail := c.ReadWord(s.nic.TailAddr())
@@ -137,20 +175,35 @@ func (s *Stack) drainRX() sim.Cycles {
 	for ; s.rxHead < tail; s.rxHead++ {
 		bufAddr, length, ready := s.nic.ReadDesc(s.rxHead)
 		if !ready || length < 2 {
-			s.dropped++
+			s.dropMalform++
 			continue
 		}
 		cost += s.cfg.PerPacket
 		dst := c.ReadWord(bufAddr)
 		sock, ok := s.sockets[dst]
 		if !ok {
-			s.dropped++
+			s.dropNoSock++
 			continue
 		}
 		consumed := c.ReadWord(sock.base + sockConsumed)
 		if sock.delivered-consumed >= int64(s.cfg.RingEntries) {
-			s.dropped++
-			continue
+			// Ring full: backpressure instead of drop. The PerPacket cost
+			// charged above is refunded — the packet was not processed.
+			cost -= s.cfg.PerPacket
+			if !sock.blocked {
+				sock.blocked = true
+				sock.nacks++
+				s.backpressure++
+				c.WriteWord(sock.base+sockNack, sock.nacks)
+			}
+			break
+		}
+		sock.blocked = false
+		if pen, ok := s.inj.RequestFault(); ok {
+			// Injected mid-packet thread fault: the service absorbs it by
+			// redoing the protocol processing after the fault penalty.
+			s.svcFaults++
+			cost += pen + s.cfg.PerPacket
 		}
 		slot := sock.delivered % int64(s.cfg.RingEntries)
 		// Copy the payload into the socket's buffer area.
@@ -211,22 +264,87 @@ func (s *Stack) drainSend() sim.Cycles {
 }
 
 // Send posts a transmit request (Go-side helper; applications in assembly
-// write the same mailbox words with ST instructions).
-func (s *Stack) Send(payloadAddr, words int64) {
+// write the same mailbox words with ST instructions). It reports whether the
+// mailbox was free: a false return means a previous request is still
+// pending, and blindly overwriting it would have silently lost that packet.
+// Use SendWithRetry for back-off-and-retry semantics.
+func (s *Stack) Send(payloadAddr, words int64) bool {
 	c := s.k.Core()
+	if c.ReadWord(s.cfg.SendMailbox+sendStatus) != 0 {
+		s.sendBusy++
+		return false
+	}
 	c.WriteWord(s.cfg.SendMailbox+sendAddr, payloadAddr)
 	c.WriteWord(s.cfg.SendMailbox+sendLen, words)
 	c.WriteWord(s.cfg.SendMailbox+sendStatus, 1)
+	return true
 }
 
-// Stats returns (received, dropped, sent).
+// SendWithRetry posts a transmit request, retrying with doubling backoff
+// (capped at 8x the initial spacing) while the mailbox is occupied. The
+// stack always eventually clears the mailbox, so the post always eventually
+// lands — backpressure delays the sender instead of losing the packet.
+func (s *Stack) SendWithRetry(payloadAddr, words int64, backoff sim.Cycles) {
+	if backoff < 1 {
+		backoff = 1
+	}
+	cap := backoff * 8
+	var attempt func(wait sim.Cycles)
+	attempt = func(wait sim.Cycles) {
+		if s.Send(payloadAddr, words) {
+			return
+		}
+		next := wait * 2
+		if next > cap {
+			next = cap
+		}
+		s.k.Core().Engine().After(wait, "send-retry", func() { attempt(next) })
+	}
+	attempt(backoff)
+}
+
+// Stats returns (received, dropped, sent). dropped counts genuinely lost
+// packets (no bound socket, malformed descriptor); ring-full events are
+// backpressure stalls, not drops — see Backpressure.
 func (s *Stack) Stats() (received, dropped, sent uint64) {
-	return s.received, s.dropped, s.sent
+	return s.received, s.dropNoSock + s.dropMalform, s.sent
+}
+
+// Backpressure returns (ring-full stall events, Send calls refused because
+// the mailbox was occupied).
+func (s *Stack) Backpressure() (ringStalls, sendBusy uint64) {
+	return s.backpressure, s.sendBusy
+}
+
+// ServiceFaults counts injected mid-packet thread faults the stack absorbed
+// by reprocessing (zero without a fault plan).
+func (s *Stack) ServiceFaults() uint64 { return s.svcFaults }
+
+// PendingRX reports NIC-ring packets the stack has accepted but not yet
+// demuxed — nonzero while a ring-full stall holds delivery back. Packet
+// conservation: received + dropped + PendingRX == NIC-delivered, always.
+func (s *Stack) PendingRX() int64 {
+	return s.k.Core().ReadWord(s.nic.TailAddr()) - s.rxHead
 }
 
 // DoorbellAddr returns the socket's monitorable delivery counter address —
 // what an application thread arms monitor on.
 func (sk *Socket) DoorbellAddr() int64 { return sk.base + sockDoorbell }
+
+// NackAddr returns the socket's backpressure word address (bumped once per
+// ring-full stall; monitorable by senders that want flow-control signals).
+func (sk *Socket) NackAddr() int64 { return sk.base + sockNack }
+
+// Nacks returns the socket's ring-full backpressure count.
+func (sk *Socket) Nacks() int64 { return sk.nacks }
+
+// Delivered returns the stack's authoritative delivery count for the socket.
+func (sk *Socket) Delivered() int64 { return sk.delivered }
+
+// Drops returns packets addressed to this socket that were lost. With
+// backpressure in place this stays zero; it exists so accounting audits can
+// assert conservation (delivered + drops == addressed).
+func (sk *Socket) Drops() int64 { return sk.drops }
 
 // Pending reports packets delivered but not yet consumed.
 func (sk *Socket) Pending() int64 {

@@ -39,6 +39,11 @@ type Bias struct {
 	// PermDenied makes TDT rows carry a random (usually insufficient)
 	// permission nibble instead of all-bits.
 	PermDenied float64
+	// SpuriousWakes schedules planned spurious-wakeup fault events aimed at
+	// mwait-ing threads (spec.Faults). Drawn after all other generation, so
+	// a zero value (the DefaultBias case) leaves every existing seed's
+	// program byte-identical.
+	SpuriousWakes float64
 	// Supervisor adds a Mode=1 handler thread that fields a victim's
 	// exception descriptors and restarts it.
 	Supervisor float64
@@ -61,6 +66,16 @@ func DefaultBias() Bias {
 		Faults:           0.30,
 		DMA:              0.40,
 	}
+}
+
+// FaultBias is DefaultBias plus planned spurious-wakeup events — the
+// configuration of the faulted differential sweep. Because the fault events
+// are drawn last, a FaultBias program is the DefaultBias program for the
+// same seed plus a fault schedule.
+func FaultBias() Bias {
+	b := DefaultBias()
+	b.SpuriousWakes = 0.8
+	return b
 }
 
 // Thread roles. Every program has at least one waiter and one waker so the
@@ -210,6 +225,25 @@ func Generate(seed uint64, b Bias) (*Spec, error) {
 				At:   int64(g.rng.Intn(int(s.Deadline / 2))),
 				Addr: FlagBase + 8*g.pickFlag(),
 				Val:  1 + int64(g.rng.Intn(100)),
+			})
+		}
+	}
+
+	// Fault events are drawn LAST so every earlier draw — and therefore the
+	// whole program — is byte-identical to the unfaulted generation of the
+	// same seed. Spurious wakes aim at threads that actually mwait (waiters
+	// and handlers; ptid 0 is always a waiter, so the pool is never empty).
+	if g.chance(b.SpuriousWakes) {
+		var sleepers []int
+		for p := 0; p < g.threads; p++ {
+			if roles[p] == roleWaiter || roles[p] == roleHandler {
+				sleepers = append(sleepers, p)
+			}
+		}
+		for n := 1 + g.rng.Intn(3); n > 0; n-- {
+			s.Faults = append(s.Faults, FaultEv{
+				At:   int64(g.rng.Intn(int(s.Deadline))),
+				PTID: sleepers[g.rng.Intn(len(sleepers))],
 			})
 		}
 	}

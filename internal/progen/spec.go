@@ -39,6 +39,12 @@ type Spec struct {
 	Mem []MemInit
 	// DMA are device writes scheduled before boot, fired at their times.
 	DMA []DMA
+	// Faults are planned spurious monitor wakeups scheduled before boot
+	// (after the DMA events): at time At, ptid PTID — if still blocked in
+	// mwait — receives a false wakeup that consumed its watch set. Both the
+	// engine and the reference interpreter apply the identical schedule, so
+	// faulted runs stay byte-comparable.
+	Faults []FaultEv
 }
 
 // RegInit sets one register of one ptid before boot.
@@ -65,6 +71,12 @@ type DMA struct {
 	At   int64
 	Addr int64
 	Val  int64
+}
+
+// FaultEv is a planned spurious monitor wakeup at a fixed simulated time.
+type FaultEv struct {
+	At   int64
+	PTID int
 }
 
 // Memory layout shared by the generator and the harness's comparison windows.
@@ -129,6 +141,9 @@ func (s *Spec) Format() string {
 	}
 	for _, d := range s.DMA {
 		fmt.Fprintf(&b, "; nocs-dma %d %d %d\n", d.At, d.Addr, d.Val)
+	}
+	for _, f := range s.Faults {
+		fmt.Fprintf(&b, "; nocs-fault %d %d\n", f.At, f.PTID)
 	}
 	b.WriteString(s.Source)
 	if !strings.HasSuffix(s.Source, "\n") {
@@ -257,6 +272,16 @@ func (s *Spec) parseDirective(fields []string) error {
 			return fmt.Errorf("bad nocs-dma %v", fields[1:])
 		}
 		s.DMA = append(s.DMA, DMA{At: at, Addr: a, Val: v})
+	case "nocs-fault":
+		if len(fields) != 3 {
+			return fmt.Errorf("nocs-fault needs at and ptid")
+		}
+		at, err1 := atoi(fields[1])
+		p, err2 := atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad nocs-fault %v", fields[1:])
+		}
+		s.Faults = append(s.Faults, FaultEv{At: at, PTID: int(p)})
 	default:
 		return fmt.Errorf("unknown directive %q", fields[0])
 	}

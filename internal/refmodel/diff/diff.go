@@ -30,6 +30,11 @@ type Options struct {
 	// dropping mutation (DESIGN.md §9); the run must then diverge on
 	// programs that exercise the monitor-before-mwait race.
 	DropPendingWakeups bool
+	// SwallowInjectedWakes enables the reference model's fault-swallowing
+	// mutation (DESIGN.md §10): scheduled spurious-wake events are skipped
+	// on the ref side only, so the faulted sweep must diverge on programs
+	// whose fault schedule lands on a blocked thread.
+	SwallowInjectedWakes bool
 }
 
 // Result is the comparison outcome for one spec.
@@ -90,6 +95,7 @@ func Run(s *progen.Spec, opt Options) (*Result, error) {
 		return nil, err
 	}
 	cfg.DropPendingWakeups = opt.DropPendingWakeups
+	cfg.SwallowInjectedWakes = opt.SwallowInjectedWakes
 	ref, err := runRef(s, cfg)
 	if err != nil {
 		return nil, err
@@ -177,6 +183,15 @@ func runEngine(s *progen.Spec, tr *trace.Tracer) (*outcome, refmodel.Config, err
 			m.Mem().Write(d.Addr, d.Val, mem.SrcDMA)
 		})
 	}
+	// Fault events go after DMA and before boot, mirroring the refmodel's
+	// ScheduleDMA-then-ScheduleFaults seq assignment, so same-cycle
+	// tie-breaking agrees between the two sides.
+	for _, f := range s.Faults {
+		f := f
+		m.Engine().At(sim.Cycles(f.At), "fault-wake", func() {
+			c.InjectSpuriousWake(hwthread.PTID(f.PTID))
+		})
+	}
 	for _, p := range s.Boot {
 		if err := c.BootStart(hwthread.PTID(p)); err != nil {
 			return nil, cfg, err
@@ -245,6 +260,11 @@ func runRef(s *progen.Spec, cfg refmodel.Config) (*outcome, error) {
 		dma[i] = refmodel.DMAWrite{At: d.At, Addr: d.Addr, Val: d.Val}
 	}
 	it.ScheduleDMA(dma)
+	faults := make([]refmodel.FaultWake, len(s.Faults))
+	for i, f := range s.Faults {
+		faults[i] = refmodel.FaultWake{At: f.At, PTID: f.PTID}
+	}
+	it.ScheduleFaults(faults)
 	for _, p := range s.Boot {
 		if err := it.Boot(p); err != nil {
 			return nil, err

@@ -106,6 +106,138 @@ func TestTracedRunsMatchUntraced(t *testing.T) {
 	}
 }
 
+// TestFaultedDifferentialSweep reruns the sweep with the fault-biased
+// generator: most programs carry a schedule of planned spurious monitor
+// wakeups (`; nocs-fault` directives) applied identically on both sides.
+// Zero divergence is tolerated, and the refmodel invariant checker (which
+// runs inside Run) asserts liveness: no armed wakeup may be lost across an
+// injected spurious wake.
+func TestFaultedDifferentialSweep(t *testing.T) {
+	base, n := sweepParams(t)
+	faulted := 0
+	for seed := base; seed < base+n; seed++ {
+		s, err := progen.Generate(seed, progen.FaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Faults) > 0 {
+			faulted++
+		}
+		res, err := Run(s, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			for _, d := range res.Divergences {
+				t.Logf("  %s", d)
+			}
+			t.Fatalf("faulted divergence: %s", res.Repro())
+		}
+	}
+	// The bias must actually produce fault schedules, or this sweep is just
+	// TestDifferentialSweep again.
+	if faulted < int(n)/2 {
+		t.Fatalf("only %d/%d programs carried fault events; FaultBias too weak", faulted, n)
+	}
+}
+
+// TestFaultSpecRoundTrip checks that `; nocs-fault` directives survive
+// Format/ParseSpec, so faulted repro dumps replay the same schedule.
+func TestFaultSpecRoundTrip(t *testing.T) {
+	var s *progen.Spec
+	for seed := uint64(0); ; seed++ {
+		var err error
+		s, err = progen.Generate(seed, progen.FaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Faults) > 0 {
+			break
+		}
+		if seed > 100 {
+			t.Fatal("no faulted program in 100 seeds")
+		}
+	}
+	text := s.Format()
+	p, err := progen.ParseSpec("roundtrip", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Faults, s.Faults) {
+		t.Fatalf("fault schedule did not round-trip:\n got %v\nwant %v", p.Faults, s.Faults)
+	}
+	if p.Format() != text {
+		t.Fatal("Format not stable across ParseSpec round-trip")
+	}
+}
+
+// TestFaultAtDMATickAgrees pins the hardest ordering case: a spurious wake
+// scheduled exactly one cycle before, on, and after a DMA write tick. The
+// engine resolves the same-cycle tie by schedule order (DMA events first,
+// then fault events — both pre-boot), the refmodel by its pre-assigned
+// sequence numbers; the two must agree on every architectural outcome.
+func TestFaultAtDMATickAgrees(t *testing.T) {
+	tested := 0
+	for seed := uint64(0); seed < 200 && tested < 20; seed++ {
+		s, err := progen.Generate(seed, progen.FaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Faults) == 0 || len(s.DMA) == 0 {
+			continue
+		}
+		tested++
+		for _, delta := range []int64{-1, 0, 1} {
+			at := s.DMA[0].At + delta
+			if at < 0 {
+				continue
+			}
+			s.Faults[0].At = at
+			res, err := Run(s, Options{})
+			if err != nil {
+				t.Fatalf("seed %d delta %d: %v", seed, delta, err)
+			}
+			if !res.OK() {
+				for _, d := range res.Divergences {
+					t.Logf("  %s", d)
+				}
+				t.Fatalf("seed %d: fault at DMA tick%+d diverged: %s", seed, delta, res.Repro())
+			}
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no program with both DMA and fault events in 200 seeds")
+	}
+}
+
+// TestFaultMutationIsCaught flips the reference model's fault-swallowing
+// knob (DESIGN.md §10): the ref side skips every scheduled spurious wake
+// while the engine still applies them. The faulted sweep must notice — a
+// harness that cannot catch a dropped fault injection proves nothing about
+// the fault paths.
+func TestFaultMutationIsCaught(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s, err := progen.Generate(seed, progen.FaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Faults) == 0 {
+			continue
+		}
+		res, err := Run(s, Options{SwallowInjectedWakes: true})
+		if err != nil && strings.Contains(err.Error(), "lost wakeup") {
+			return // caught by the no-lost-wakeups invariant checker
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			return // caught by outcome comparison
+		}
+	}
+	t.Fatal("fault-swallowing mutation survived 50 seeds undetected")
+}
+
 // TestMutationIsCaught flips the reference model's documented
 // wakeup-dropping knob (DESIGN.md §9) and requires the sweep to notice:
 // a differential harness that cannot catch a planted lost-wakeup bug

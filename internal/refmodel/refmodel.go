@@ -110,6 +110,13 @@ type Config struct {
 	// waiting is dropped instead of buffered, losing the monitor/mwait race
 	// guarantee. The differential sweep must catch this as a divergence.
 	DropPendingWakeups bool
+
+	// SwallowInjectedWakes is the fault-path mutation knob (DESIGN.md §10):
+	// when set, scheduled spurious-wake fault events are silently skipped, as
+	// if the model forgot to implement the fault semantics. The faulted
+	// differential sweep must catch this as a divergence on any seed whose
+	// fault schedule actually lands on a blocked thread.
+	SwallowInjectedWakes bool
 }
 
 // DMAWrite is an externally scheduled device write (time, address, value).
@@ -119,6 +126,16 @@ type DMAWrite struct {
 	At   int64
 	Addr int64
 	Val  int64
+}
+
+// FaultWake is an externally scheduled spurious monitor wakeup: at time At,
+// ptid PTID — if blocked in mwait with watches armed — is woken as if a
+// watched address had been written, consuming its watch set. The harness
+// schedules the identical list on the engine (core.InjectSpuriousWake), so
+// both sides apply byte-identical fault schedules.
+type FaultWake struct {
+	At   int64
+	PTID int
 }
 
 // Thread is the architectural and scheduling state of one ptid.
@@ -191,6 +208,12 @@ type Interp struct {
 	dma     []DMAWrite
 	dmaSeq  []uint64
 	dmaDone []bool
+
+	faults    []FaultWake
+	faultSeq  []uint64
+	faultDone []bool
+	// SpuriousWakes counts fault events that actually woke a thread.
+	SpuriousWakes uint64
 
 	totalWeight int
 	pipeCount   int
@@ -273,6 +296,19 @@ func (it *Interp) ScheduleDMA(writes []DMAWrite) {
 	}
 }
 
+// ScheduleFaults registers spurious-wake fault events. Must be called after
+// ScheduleDMA and before Boot, matching a harness that schedules the fault
+// events on the engine between the DMA events and BootStart — the sequence
+// numbers fix same-cycle ordering exactly.
+func (it *Interp) ScheduleFaults(faults []FaultWake) {
+	for _, f := range faults {
+		it.faults = append(it.faults, f)
+		it.faultSeq = append(it.faultSeq, it.nextSeq)
+		it.faultDone = append(it.faultDone, false)
+		it.nextSeq++
+	}
+}
+
 // Boot enables a disabled ptid and schedules its first instruction after the
 // start latency (the firmware path, no TDT check).
 func (it *Interp) Boot(p int) error {
@@ -306,6 +342,13 @@ func (it *Interp) Run(deadline int64) {
 			it.write(it.dma[idx].Addr, it.dma[idx].Val)
 			continue
 		}
+		if kind == 3 {
+			it.faultDone[idx] = true
+			if !it.cfg.SwallowInjectedWakes {
+				it.spuriousWake(it.faults[idx].PTID)
+			}
+			continue
+		}
 		it.step(it.threads[idx])
 	}
 	if it.now < deadline {
@@ -314,7 +357,7 @@ func (it *Interp) Run(deadline int64) {
 }
 
 // next picks the minimum (at, seq) pending event: kind 0 = none,
-// 1 = DMA write idx, 2 = thread idx exec.
+// 1 = DMA write idx, 2 = thread idx exec, 3 = fault event idx.
 func (it *Interp) next() (kind, idx int, at int64) {
 	var bestSeq uint64
 	for i := range it.dma {
@@ -323,6 +366,14 @@ func (it *Interp) next() (kind, idx int, at int64) {
 		}
 		if kind == 0 || it.dma[i].At < at || (it.dma[i].At == at && it.dmaSeq[i] < bestSeq) {
 			kind, idx, at, bestSeq = 1, i, it.dma[i].At, it.dmaSeq[i]
+		}
+	}
+	for i := range it.faults {
+		if it.faultDone[i] {
+			continue
+		}
+		if kind == 0 || it.faults[i].At < at || (it.faults[i].At == at && it.faultSeq[i] < bestSeq) {
+			kind, idx, at, bestSeq = 3, i, it.faults[i].At, it.faultSeq[i]
 		}
 	}
 	for i, t := range it.threads {
@@ -445,6 +496,26 @@ func (it *Interp) write(addr, val int64) {
 		t.Wakeups++
 		it.resume(t)
 	}
+}
+
+// spuriousWake applies one scheduled fault event: a false monitor wakeup.
+// The wake only lands if the target is actually blocked in mwait with watches
+// armed — exactly the engine's InjectWake condition — and consumes the watch
+// set like a real wake would, but bumps no write tick (no write happened).
+func (it *Interp) spuriousWake(p int) {
+	if p < 0 || p >= len(it.threads) {
+		return
+	}
+	t := it.threads[p]
+	if t.State != StWaiting || t.halted || len(t.armed) == 0 {
+		return
+	}
+	it.disarm(t)
+	it.MonWakeups++
+	it.SpuriousWakes++
+	t.State = StRunnable
+	t.Wakeups++
+	it.resume(t)
 }
 
 // arm adds addr to t's watch set (idempotent), appending t to the global

@@ -22,6 +22,7 @@ package statestore
 import (
 	"fmt"
 
+	"nocs/internal/faultinject"
 	"nocs/internal/sim"
 )
 
@@ -125,7 +126,15 @@ type Store struct {
 	prefetches   uint64
 	prefetchHits uint64
 	dramStarts   uint64
+
+	// inj injects transient ECC-style transfer errors (nil = off).
+	inj           *faultinject.Injector
+	xferRetries   uint64
+	tierFallbacks uint64
 }
+
+// SetFaultInjector arms state-transfer fault injection (machine wiring).
+func (s *Store) SetFaultInjector(inj *faultinject.Injector) { s.inj = inj }
 
 // New builds a store with the given configuration.
 func New(cfg Config) *Store {
@@ -229,6 +238,40 @@ func (s *Store) transferCost(t Tier) sim.Cycles {
 	}
 }
 
+// faultedTransfer charges a state transfer from tier t, degrading
+// gracefully under injected ECC-style errors: each transient fault costs a
+// retry; when the retry budget is exhausted, the transfer falls back to the
+// clean copy one tier further out (inclusive hierarchy) and pays that
+// tier's cost on top. The transfer always completes — degraded, never lost.
+func (s *Store) faultedTransfer(t Tier) sim.Cycles {
+	cost := s.transferCost(t)
+	if s.inj == nil {
+		return cost
+	}
+	retries := 0
+	for s.inj.TransferFault(t.String()) {
+		if retries >= s.inj.TransferRetries() {
+			ft := t + 1
+			if ft >= numTiers {
+				ft = TierDRAM
+			}
+			s.tierFallbacks++
+			cost += s.transferCost(ft)
+			return cost
+		}
+		retries++
+		s.xferRetries++
+		cost += s.inj.TransferRetryCost()
+	}
+	return cost
+}
+
+// FaultStats returns (transfer retries, tier fallbacks) under injected
+// ECC errors. Both are zero without a fault plan.
+func (s *Store) FaultStats() (retries, fallbacks uint64) {
+	return s.xferRetries, s.tierFallbacks
+}
+
 // StartCost previews the cycles a Start would charge now, without mutating
 // placement.
 func (s *Store) StartCost(id int, now sim.Cycles) (sim.Cycles, error) {
@@ -256,7 +299,7 @@ func (s *Store) Start(id int, now sim.Cycles) (sim.Cycles, error) {
 		if prefetched {
 			s.prefetchHits++
 		} else {
-			cost += s.transferCost(e.tier)
+			cost += s.faultedTransfer(e.tier)
 			if e.tier == TierDRAM {
 				s.dramStarts++
 			}

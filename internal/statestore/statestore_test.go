@@ -359,3 +359,136 @@ func TestDRAMStartCounted(t *testing.T) {
 		t.Fatalf("dramStarts = %d", dram)
 	}
 }
+
+// All-pinned tiers must never make promotion or demotion spin or panic: an
+// incoming Start whose state cannot displace pinned residents stays where it
+// is and pays its own tier's transfer cost. This pins down the audit of
+// moveToRF/lruVictim/demote for the pathological "every victim is pinned"
+// placements.
+func TestAllPinnedTierTable(t *testing.T) {
+	base := isa.BaseStateBytes
+	checkAccounting := func(t *testing.T, s *Store, liveBytes int) {
+		t.Helper()
+		total := 0
+		for tr := TierRF; tr < numTiers; tr++ {
+			bytes, _ := s.Occupancy(tr)
+			if bytes < 0 {
+				t.Fatalf("tier %v accounting went negative: %d", tr, bytes)
+			}
+			total += bytes
+		}
+		if total != liveBytes {
+			t.Fatalf("accounted bytes %d != live bytes %d", total, liveBytes)
+		}
+	}
+	t.Run("start from L2 against all-pinned RF", func(t *testing.T) {
+		s := small()
+		for i := 0; i < 3; i++ {
+			if err := s.Register(i, base); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Pin(0, 0)
+		s.Pin(1, 0)
+		cost, err := s.Start(2, 10) // lives in L2; RF is fully pinned
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr, _ := s.TierOf(2); tr != TierL2 {
+			t.Fatalf("thread 2 moved to %v, want to stay in L2", tr)
+		}
+		if want := s.Config().PipelineDepth + s.Config().L2Transfer; cost != want {
+			t.Fatalf("cost %v, want %v (own tier's transfer)", cost, want)
+		}
+		checkAccounting(t, s, 3*base)
+	})
+	t.Run("start from DRAM against all-pinned RF", func(t *testing.T) {
+		s := small()
+		for i := 0; i < 15; i++ { // fills RF(2)+L2(4)+L3(8), 15th spills to DRAM
+			if err := s.Register(i, base); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Pin(0, 0)
+		s.Pin(1, 0)
+		cost, err := s.Start(14, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr, _ := s.TierOf(14); tr != TierDRAM {
+			t.Fatalf("thread 14 in %v, want to stay in DRAM", tr)
+		}
+		if want := s.Config().PipelineDepth + s.Config().DRAMTransfer; cost != want {
+			t.Fatalf("cost %v, want %v", cost, want)
+		}
+		if _, _, _, _, dram := s.Stats(); dram != 1 {
+			t.Fatalf("dramStarts = %d, want 1", dram)
+		}
+		checkAccounting(t, s, 15*base)
+	})
+	t.Run("start of a pinned RF resident is a plain refill", func(t *testing.T) {
+		s := small()
+		s.Register(0, base)
+		s.Pin(0, 0)
+		cost, err := s.Start(0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != s.Config().PipelineDepth {
+			t.Fatalf("cost %v, want bare pipeline depth", cost)
+		}
+		checkAccounting(t, s, base)
+	})
+	t.Run("resize growth in a full pinned RF demotes without spinning", func(t *testing.T) {
+		s := small()
+		s.Register(0, base)
+		s.Register(1, base)
+		s.Pin(0, 0)
+		s.Pin(1, 0)
+		// Growing 0 cannot fit beside pinned 1: capacity wins over the pin
+		// and the state demotes to L2 (documented Resize behavior).
+		if err := s.Resize(0, 2*base); err != nil {
+			t.Fatal(err)
+		}
+		if tr, _ := s.TierOf(0); tr != TierL2 {
+			t.Fatalf("grown thread in %v, want L2", tr)
+		}
+		checkAccounting(t, s, 3*base)
+	})
+	t.Run("remove of a pinned resident frees RF for promotion", func(t *testing.T) {
+		s := small()
+		for i := 0; i < 3; i++ {
+			s.Register(i, base)
+		}
+		s.Pin(0, 0)
+		s.Pin(1, 0)
+		s.Remove(1)
+		if _, err := s.Start(2, 10); err != nil {
+			t.Fatal(err)
+		}
+		if tr, _ := s.TierOf(2); tr != TierRF {
+			t.Fatalf("thread 2 in %v, want RF after pinned slot freed", tr)
+		}
+		checkAccounting(t, s, 2*base)
+	})
+	t.Run("pinned entries below RF do not wedge the demotion cascade", func(t *testing.T) {
+		s := small()
+		for i := 0; i < 6; i++ { // 0,1 in RF; 2..5 fill L2
+			s.Register(i, base)
+		}
+		s.Pin(0, 0)
+		s.Pin(1, 0)
+		for i := 2; i < 6; i++ {
+			s.Pin(i, 0) // cannot move to the full pinned RF: stays pinned in L2
+		}
+		// Growing an L2 resident must skip the all-pinned L2 victims and
+		// land in L3 without spinning.
+		if err := s.Resize(5, 2*base); err != nil {
+			t.Fatal(err)
+		}
+		if tr, _ := s.TierOf(5); tr != TierL3 {
+			t.Fatalf("grown thread in %v, want L3", tr)
+		}
+		checkAccounting(t, s, 7*base)
+	})
+}

@@ -134,12 +134,27 @@ func (b Bimodal) Mean() float64 {
 // Name identifies the distribution.
 func (b Bimodal) Name() string { return "bimodal" }
 
-// Pareto service: heavy-tailed with scale Xm and shape Alpha (> 1 for a
-// finite mean).
+// Pareto service: heavy-tailed with scale Xm and shape Alpha. Alpha must be
+// > 1: an infinite-mean shape has no meaningful offered load, so experiment
+// utilization targets computed from Mean would be silently wrong. Construct
+// with NewPareto, which validates (the same convention as
+// NewPoissonArrivals).
 type Pareto struct {
 	Xm    float64
 	Alpha float64
 	RNG   *sim.RNG
+}
+
+// NewPareto creates a heavy-tailed service distribution. It panics when
+// alpha <= 1 (infinite mean) or xm <= 0, matching NewPoissonArrivals.
+func NewPareto(xm, alpha float64, rng *sim.RNG) Pareto {
+	if xm <= 0 {
+		panic(fmt.Sprintf("workload: non-positive Pareto scale %v", xm))
+	}
+	if alpha <= 1 {
+		panic(fmt.Sprintf("workload: Pareto shape %v has infinite mean (need alpha > 1)", alpha))
+	}
+	return Pareto{Xm: xm, Alpha: alpha, RNG: rng}
 }
 
 // Sample draws a Pareto demand.
@@ -151,10 +166,12 @@ func (p Pareto) Sample() sim.Cycles {
 	return v
 }
 
-// Mean returns alpha*xm/(alpha-1) (infinite-mean shapes report the scale).
+// Mean returns alpha*xm/(alpha-1). It panics on an infinite-mean shape —
+// the old fallback of reporting the scale made load calculations silently
+// wrong; NewPareto rejects such shapes at construction.
 func (p Pareto) Mean() float64 {
 	if p.Alpha <= 1 {
-		return p.Xm
+		panic(fmt.Sprintf("workload: Pareto shape %v has infinite mean", p.Alpha))
 	}
 	return p.Alpha * p.Xm / (p.Alpha - 1)
 }

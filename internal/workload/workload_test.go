@@ -97,7 +97,7 @@ func TestBimodalService(t *testing.T) {
 }
 
 func TestParetoService(t *testing.T) {
-	p := Pareto{Xm: 1000, Alpha: 2, RNG: sim.NewRNG(3)}
+	p := NewPareto(1000, 2, sim.NewRNG(3))
 	for i := 0; i < 10000; i++ {
 		if p.Sample() < 1000 {
 			t.Fatal("below scale")
@@ -106,13 +106,28 @@ func TestParetoService(t *testing.T) {
 	if p.Mean() != 2000 {
 		t.Fatalf("mean %v", p.Mean())
 	}
-	inf := Pareto{Xm: 1000, Alpha: 0.9}
-	if inf.Mean() != 1000 {
-		t.Fatal("infinite-mean fallback")
-	}
 	if p.Name() != "pareto" {
 		t.Fatal("name")
 	}
+}
+
+// Infinite-mean shapes must be rejected at construction, matching the
+// NewPoissonArrivals panic convention — the old Mean fallback of reporting
+// the scale silently skewed every load target computed from it.
+func TestParetoRejectsInfiniteMean(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("alpha=0.9", func() { NewPareto(1000, 0.9, sim.NewRNG(1)) })
+	mustPanic("alpha=1", func() { NewPareto(1000, 1, sim.NewRNG(1)) })
+	mustPanic("xm=0", func() { NewPareto(0, 2, sim.NewRNG(1)) })
+	mustPanic("Mean on infinite shape", func() { _ = Pareto{Xm: 1000, Alpha: 0.9}.Mean() })
 }
 
 func TestGenerate(t *testing.T) {

@@ -10,7 +10,12 @@
 #                        on top of the checked-in corpora
 #   6. diff sweep      — 200 fresh seeds through the engine-vs-reference
 #                        differential harness (DESIGN.md §9)
-#   7. golden diff     — `nocsim -all` must be byte-identical to the
+#   7. faulted sweep   — 100 seeds with injected fault schedules, plus the
+#                        planted fault-swallowing mutation that the sweep
+#                        must catch (DESIGN.md §10)
+#   8. fault package   — go vet + race-enabled unit tests for
+#                        internal/faultinject
+#   9. golden diff     — `nocsim -all` must be byte-identical to the
 #                        committed results_full.txt (skip with SKIP_GOLDEN=1
 #                        when the caller performs its own golden run)
 #
@@ -41,6 +46,15 @@ go test -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 10s ./internal/trace
 
 echo "== differential sweep (200 seeds) =="
 NOCS_DIFF_N=200 go test -count=1 -run '^TestDifferentialSweep$' ./internal/refmodel/diff
+
+echo "== faulted differential sweep (100 seeds) + planted mutation =="
+NOCS_DIFF_N=100 go test -count=1 \
+    -run '^(TestFaultedDifferentialSweep|TestFaultMutationIsCaught)$' \
+    ./internal/refmodel/diff
+
+echo "== fault-injection package (vet + race) =="
+go vet ./internal/faultinject
+go test -race -count=1 ./internal/faultinject
 
 if [ "${SKIP_GOLDEN:-0}" != "1" ]; then
     echo "== determinism: nocsim -all vs results_full.txt =="
