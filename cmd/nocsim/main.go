@@ -35,13 +35,24 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced sample counts")
 		seed       = flag.Uint64("seed", bench.DefaultConfig().Seed, "workload RNG seed")
 		format     = flag.String("format", "table", "output format: table or csv")
-		parallel   = flag.Int("parallel", 1, "run up to N experiments (and sweep points within them) concurrently; every run uses isolated engines and results merge in registry order, so output is identical at any setting")
+		parallel   = flag.Int("parallel", 1, "run up to N experiments (and sweep points within them) concurrently, clamped to the usable CPU count; every run uses isolated engines and results merge in registry order, so output is identical at any setting")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after all runs) to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev); forces -parallel 1")
 		faults     = flag.String("faults", "", `fault-injection plan for fault-aware experiments (F2, F16): "default" arms the standard seeded plan, "" runs fault-free`)
 	)
 	flag.Parse()
+
+	// More workers than usable CPUs is pure overhead for this CPU-bound
+	// simulator: the goroutines time-slice the same cores while the extra
+	// in-flight experiments inflate the live heap and GC pressure. On a
+	// single-CPU host, -parallel 8 measurably LOSES to serial (BENCH_1.json
+	// recorded 2942 ms vs 2764 ms), so clamp rather than oversubscribe —
+	// output is identical at any setting, only the wall time changes.
+	requestedParallel := *parallel
+	if max := runtime.GOMAXPROCS(0); *parallel > max {
+		*parallel = max
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -90,7 +101,7 @@ func main() {
 	}
 	if *traceOut != "" {
 		cfg.Tracer = trace.New()
-		if *parallel > 1 {
+		if requestedParallel > 1 {
 			fmt.Fprintln(os.Stderr, "note: -trace forces serial execution for a deterministic event order")
 		}
 	}

@@ -7,9 +7,13 @@
 // hardware for the baselines.
 //
 // Execution is event-driven over virtual time: each runnable ptid has one
-// in-flight "execute next instruction" event; instruction latencies are
-// scaled by the pipeline's processor-sharing model; loads and stores charge
-// the cache hierarchy; mwait parks the ptid in the machine's monitor engine.
+// in-flight "execute next instruction" event, and once dispatched the ptid
+// runs straight-line instructions in a batched tight loop (execBatch) until
+// the next scheduling boundary — a blocking instruction, or the engine's
+// event horizon (see execBatch for the determinism argument). Instruction
+// latencies are scaled by the pipeline's processor-sharing model; loads and
+// stores charge the cache hierarchy; mwait parks the ptid in the machine's
+// monitor engine.
 package core
 
 import (
@@ -134,6 +138,11 @@ type Core struct {
 	execEv  []sim.Handle
 	execCBs []execCallback // one per ptid; scheduled via AfterCallback
 
+	// Per-ptid predecode cache: decs[p] is decProgs[p].Decoded(), warmed at
+	// BindProgram and kept coherent by pointer compare (see decodedFor).
+	decProgs []*isa.Program
+	decs     [][]isa.Decoded
+
 	// Legacy-mode hooks. When LegacySyscall is non-nil, SYSCALL performs an
 	// in-thread mode switch and runs the hook; otherwise SYSCALL writes an
 	// ExcSyscall descriptor and disables the thread (nocs personality).
@@ -193,7 +202,7 @@ type execCallback struct {
 
 func (x *execCallback) OnEvent() {
 	x.c.execEv[x.t.PTID] = sim.NoEvent
-	x.c.execOne(x.t)
+	x.c.execBatch(x.t)
 }
 
 // New builds a core attached to the machine's engine, memory, and monitor.
@@ -231,6 +240,8 @@ func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core 
 	c.waiters = make([]*waiter, cfg.Threads)
 	c.execEv = make([]sim.Handle, cfg.Threads)
 	c.execCBs = make([]execCallback, cfg.Threads)
+	c.decProgs = make([]*isa.Program, cfg.Threads)
+	c.decs = make([][]isa.Decoded, cfg.Threads)
 	for i := range c.waiters {
 		c.waiters[i] = &waiter{c: c, p: hwthread.PTID(i)}
 		c.execCBs[i] = execCallback{c: c, t: c.threads.Context(hwthread.PTID(i))}
@@ -330,6 +341,10 @@ func (c *Core) BindProgram(p hwthread.PTID, prog *isa.Program, entry string) err
 	}
 	t.Prog = prog
 	t.Regs.PC = pc
+	// Warm the predecode cache: labels, operand kinds, and cost classes are
+	// resolved once per (Program, entry) here instead of per retirement.
+	c.decProgs[p] = prog
+	c.decs[p] = prog.Decoded()
 	return nil
 }
 

@@ -660,8 +660,10 @@ func TestInjectDelay(t *testing.T) {
 	prog := asm.MustAssemble("c", "main:\n\tnop\n\tnop\n\tnop\n\thalt")
 	r.c.BindProgram(0, prog, "main")
 	r.c.BootStart(0)
-	r.eng.Step() // execute first instruction event
-	r.c.InjectDelay(0, 5000)
+	// Inject from an event (the IRQ controller's real calling context): the
+	// event is a batch boundary, so the thread's next-exec event exists and
+	// gets pushed back regardless of batching granularity.
+	r.eng.At(0, "inject", func() { r.c.InjectDelay(0, 5000) })
 	r.eng.Run(0)
 	if r.eng.Now() < 5000 {
 		t.Fatalf("delay not injected: now=%v", r.eng.Now())

@@ -6,36 +6,291 @@ import (
 	"nocs/internal/sim"
 )
 
-// execOne executes a single instruction for t and schedules the next one.
-// Blocking opcodes (mwait, halt, faults, descriptor-path syscalls) leave the
-// thread suspended; everything else reschedules after the charged latency.
-func (c *Core) execOne(t *hwthread.Context) {
+// decodedFor returns the predecoded instruction cache for t's bound program,
+// refreshing the per-ptid cache when the program changed since BindProgram
+// (tests and services may rebind t.Prog directly; a pointer compare per
+// instruction keeps the cache coherent without an invalidation protocol —
+// Programs themselves are immutable, see isa.Decoded).
+func (c *Core) decodedFor(t *hwthread.Context) []isa.Decoded {
+	if c.decProgs[t.PTID] != t.Prog {
+		c.decProgs[t.PTID] = t.Prog
+		c.decs[t.PTID] = t.Prog.Decoded()
+	}
+	return c.decs[t.PTID]
+}
+
+// execBatch runs t's straight-line instructions in a tight loop until a
+// scheduling boundary. Instruction-level boundaries (mwait, halt, faults,
+// descriptor syscalls/vm-exits, blocking natives) surface as ok=false from
+// execOne; cross-thread boundaries (wakeups, IRQs, device DMA/MSIs, injected
+// fault ticks, RunUntil quantum expiry) surface through the engine's horizon
+// check — the batch continues only while the next issue stays strictly ahead
+// of every queued event, so batching can never reorder a wakeup relative to
+// per-event dispatch. With a tracer attached the loop degrades to one event
+// per instruction so per-dispatch trace output is unchanged.
+//
+// Determinism argument: in unbatched execution the exec event for the next
+// instruction is always the last event scheduled at its timestamp (execOne
+// schedules it after all side effects), so any queued event with timestamp
+// <= next would run first. AdvanceWithin(next) fails in exactly that case
+// (and at RunUntil deadlines), falling back to a real event; otherwise
+// executing inline at `next` is observationally identical.
+func (c *Core) execBatch(t *hwthread.Context) {
+	// The fast inner loop requires that no per-instruction observer is
+	// attached: tracing wants one event per dispatch, and OnExec (the diff
+	// harness, trace buffers) must see every instruction — those paths run
+	// the general interpreter per instruction, still batched by the outer
+	// loop.
+	fast := c.tr == nil && c.OnExec == nil && !c.eng.Traced()
+	for {
+		if fast && c.fatal == nil && t.State == hwthread.Runnable && t.Prog != nil {
+			if c.fastRun(t) {
+				return
+			}
+			// The instruction at t.Regs.PC needs the general interpreter.
+		}
+		delay, ok := c.execOne(t)
+		if !ok {
+			return
+		}
+		if c.tr != nil || c.eng.Traced() {
+			c.scheduleExec(t, delay)
+			return
+		}
+		if !c.eng.AdvanceWithin(c.eng.Now() + delay) {
+			c.scheduleExec(t, delay)
+			return
+		}
+		// Continuing inline: if the instruction re-armed this ptid's exec
+		// event (a native stop/start round trip), the loop itself is the
+		// in-flight exec — drop the stale event, as scheduleExec would.
+		if h := c.execEv[t.PTID]; h != sim.NoEvent {
+			c.eng.Cancel(h)
+			c.execEv[t.PTID] = sim.NoEvent
+		}
+	}
+}
+
+// fastRun executes a run of Fast (integer-register ALU and control-flow)
+// instructions with every loop invariant hoisted: the decode cache, the PS
+// slowdown (fast ops never change the runnable set), the event horizon (fast
+// ops never schedule or cancel events), and the clock (advanced locally and
+// written back on exit — nothing can observe it mid-run since no hooks, no
+// events, and no memory traffic occur). It returns true when the batch ended
+// (the next exec event is armed); false when the instruction at t.Regs.PC
+// needs the general interpreter, with the clock and retire counters synced.
+func (c *Core) fastRun(t *hwthread.Context) bool {
+	dec := c.decodedFor(t)
+	clk := c.eng.Clock()
+	now := clk.Now()
+	horizon := c.eng.BatchHorizon()
+	ptid := int(t.PTID)
+	unitSD := c.pipe.Slowdown(ptid) == 1
+	r := &t.Regs
+	pc := r.PC
+	var retired uint64
+	for {
+		if pc < 0 || pc >= int64(len(dec)) {
+			break
+		}
+		in := &dec[pc]
+		if !in.Fast || in.Priv {
+			break
+		}
+		nextPC := pc + 1
+		handled := true
+		switch in.Op {
+		case isa.ADDI:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] + in.Imm
+		case isa.ADD:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] + r.GPR[in.Rs2&15]
+		case isa.SUB:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] - r.GPR[in.Rs2&15]
+		case isa.MUL:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] * r.GPR[in.Rs2&15]
+		case isa.AND:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] & r.GPR[in.Rs2&15]
+		case isa.OR:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] | r.GPR[in.Rs2&15]
+		case isa.XOR:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] ^ r.GPR[in.Rs2&15]
+		case isa.SHL:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] << (uint64(r.GPR[in.Rs2&15]) & 63)
+		case isa.SHR:
+			r.GPR[in.Rd&15] = int64(uint64(r.GPR[in.Rs1&15]) >> (uint64(r.GPR[in.Rs2&15]) & 63))
+		case isa.SLT:
+			if r.GPR[in.Rs1&15] < r.GPR[in.Rs2&15] {
+				r.GPR[in.Rd&15] = 1
+			} else {
+				r.GPR[in.Rd&15] = 0
+			}
+		case isa.MOVI:
+			r.GPR[in.Rd&15] = in.Imm
+		case isa.MOV:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15]
+		case isa.NOP:
+		case isa.JMP:
+			nextPC = in.Imm
+		case isa.JAL:
+			r.GPR[in.Rd&15] = pc + 1
+			nextPC = in.Imm
+		case isa.JR:
+			nextPC = r.GPR[in.Rs1&15]
+		case isa.BEQ:
+			if r.GPR[in.Rs1&15] == r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		case isa.BNE:
+			if r.GPR[in.Rs1&15] != r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		case isa.BLT:
+			if r.GPR[in.Rs1&15] < r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		case isa.BGE:
+			if r.GPR[in.Rs1&15] >= r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		default:
+			handled = false
+		}
+		if !handled {
+			break // DIV, memory, FP, thread ops: general interpreter
+		}
+		retired++
+		pc = nextPC
+		delay := sim.Cycles(in.Lat)
+		if !unitSD {
+			delay = c.pipe.ChargedLatency(ptid, delay)
+		}
+		next := now + delay
+		if next > horizon {
+			// Scheduling boundary: a queued event (or the RunUntil deadline)
+			// is due at or before the next issue — hand back to the engine.
+			r.PC = pc
+			c.retired += retired
+			t.Retired += retired
+			clk.AdvanceTo(now)
+			c.scheduleExec(t, delay)
+			return true
+		}
+		now = next
+	}
+	r.PC = pc
+	c.retired += retired
+	t.Retired += retired
+	clk.AdvanceTo(now)
+	return false
+}
+
+// execOne executes a single instruction for t. It returns the charged latency
+// to the next issue and ok=true while the thread continues in straight-line
+// execution; ok=false when the instruction ended the dispatch (blocked,
+// halted, faulted, stopped, or fatal) with the thread already suspended or
+// rescheduled as appropriate.
+func (c *Core) execOne(t *hwthread.Context) (sim.Cycles, bool) {
 	if c.fatal != nil || t.State != hwthread.Runnable {
-		return
+		return 0, false
 	}
 	if t.Prog == nil {
 		c.raise(t, hwthread.ExcInvalidOpcode, t.Regs.PC)
-		return
+		return 0, false
 	}
-	in, ok := t.Prog.At(t.Regs.PC)
-	if !ok {
-		c.raise(t, hwthread.ExcInvalidOpcode, t.Regs.PC)
-		return
+	dec := c.decodedFor(t)
+	pc := t.Regs.PC
+	if pc < 0 || pc >= int64(len(dec)) {
+		c.raise(t, hwthread.ExcInvalidOpcode, pc)
+		return 0, false
 	}
+	in := &dec[pc]
 	if c.OnExec != nil {
-		c.OnExec(t.PTID, t.Regs.PC, in, c.eng.Now())
+		c.OnExec(t.PTID, pc, t.Prog.Code[pc], c.eng.Now())
 	}
 
 	r := &t.Regs
-	base := sim.Cycles(in.Op.Latency())
+	base := sim.Cycles(in.Lat)
 	extra := sim.Cycles(0)
-	nextPC := r.PC + 1
+	nextPC := pc + 1
 	wasFPDirty := r.FPDirty
+
+	// Fast path: ALU and control flow over integer registers only (the
+	// decode-time Fast flag guarantees every operand indexes the GPR array,
+	// so the general Get/Set register dispatch — three calls per instruction —
+	// collapses to direct loads and stores; &15 is a no-op under Fast and
+	// lets the compiler drop bounds checks). Semantics are bit-identical to
+	// the corresponding cases of the general switch below; ops with fault
+	// paths or side effects (DIV, LD/ST, FP, thread ops) fall through.
+	if in.Fast && !in.Priv {
+		ok := true
+		switch in.Op {
+		case isa.ADDI:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] + in.Imm
+		case isa.ADD:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] + r.GPR[in.Rs2&15]
+		case isa.SUB:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] - r.GPR[in.Rs2&15]
+		case isa.MUL:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] * r.GPR[in.Rs2&15]
+		case isa.AND:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] & r.GPR[in.Rs2&15]
+		case isa.OR:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] | r.GPR[in.Rs2&15]
+		case isa.XOR:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] ^ r.GPR[in.Rs2&15]
+		case isa.SHL:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15] << (uint64(r.GPR[in.Rs2&15]) & 63)
+		case isa.SHR:
+			r.GPR[in.Rd&15] = int64(uint64(r.GPR[in.Rs1&15]) >> (uint64(r.GPR[in.Rs2&15]) & 63))
+		case isa.SLT:
+			if r.GPR[in.Rs1&15] < r.GPR[in.Rs2&15] {
+				r.GPR[in.Rd&15] = 1
+			} else {
+				r.GPR[in.Rd&15] = 0
+			}
+		case isa.MOVI:
+			r.GPR[in.Rd&15] = in.Imm
+		case isa.MOV:
+			r.GPR[in.Rd&15] = r.GPR[in.Rs1&15]
+		case isa.NOP:
+		case isa.JMP:
+			nextPC = in.Imm
+		case isa.JAL:
+			r.GPR[in.Rd&15] = pc + 1
+			nextPC = in.Imm
+		case isa.JR:
+			nextPC = r.GPR[in.Rs1&15]
+		case isa.BEQ:
+			if r.GPR[in.Rs1&15] == r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		case isa.BNE:
+			if r.GPR[in.Rs1&15] != r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		case isa.BLT:
+			if r.GPR[in.Rs1&15] < r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		case isa.BGE:
+			if r.GPR[in.Rs1&15] >= r.GPR[in.Rs2&15] {
+				nextPC = in.Imm
+			}
+		default:
+			ok = false
+		}
+		if ok {
+			c.retired++
+			t.Retired++
+			r.PC = nextPC
+			return c.pipe.ChargedLatency(int(t.PTID), base), true
+		}
+	}
 
 	// Privileged instructions in user mode never execute their semantics:
 	// they either exit to a legacy hypervisor in-thread, or disable the
 	// thread with a descriptor (§3.2 instruction emulation path).
-	if in.Op.IsPrivileged() && !t.Supervisor() {
+	if in.Priv && !t.Supervisor() {
 		c.retired++
 		t.Retired++
 		if c.IsGuest(t.PTID) && c.LegacyVMExit != nil {
@@ -47,8 +302,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 			if c.tr != nil {
 				c.tr.Complete(c.ptidTrack(t), "vm-exit", int64(c.eng.Now()), int64(lat))
 			}
-			c.scheduleExec(t, lat)
-			return
+			return lat, true
 		}
 		r.PC = nextPC // emulation resumes after the instruction
 		if c.IsGuest(t.PTID) {
@@ -56,7 +310,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 		} else {
 			c.raise(t, hwthread.ExcPrivilege, int64(in.Op))
 		}
-		return
+		return 0, false
 	}
 
 	switch in.Op {
@@ -73,8 +327,8 @@ func (c *Core) execOne(t *hwthread.Context) {
 		if d == 0 {
 			c.retired++
 			t.Retired++
-			c.raise(t, hwthread.ExcDivideByZero, r.PC)
-			return
+			c.raise(t, hwthread.ExcDivideByZero, pc)
+			return 0, false
 		}
 		r.Set(in.Rd, r.Get(in.Rs1)/d)
 	case isa.AND:
@@ -121,7 +375,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 	case isa.JMP:
 		nextPC = in.Imm
 	case isa.JAL:
-		r.Set(in.Rd, r.PC+1)
+		r.Set(in.Rd, pc+1)
 		nextPC = in.Imm
 	case isa.JR:
 		nextPC = r.Get(in.Rs1)
@@ -152,7 +406,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 		if c.tr != nil {
 			c.traceInstant(t, "disabled", "halt")
 		}
-		return
+		return 0, false
 
 	case isa.MONITOR:
 		extra += c.costs.ThreadOp
@@ -168,11 +422,10 @@ func (c *Core) execOne(t *hwthread.Context) {
 			if c.tr != nil {
 				c.traceStateBegin(t, "waiting", "mwait")
 			}
-			return
+			return 0, false
 		}
 		// A watched write already landed: fall through, continue executing.
-		c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+c.costs.ThreadOp))
-		return
+		return c.pipe.ChargedLatency(int(t.PTID), base+c.costs.ThreadOp), true
 
 	case isa.START:
 		extra += c.costs.ThreadOp
@@ -181,7 +434,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 			c.retired++
 			t.Retired++
 			c.raise(t, f.Cause, f.Info)
-			return
+			return 0, false
 		}
 		// A freshly-enabled thread is runnable but not yet on the pipeline.
 		if target.State == hwthread.Runnable && !c.pipe.Contains(int(target.PTID)) {
@@ -195,7 +448,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 			c.retired++
 			t.Retired++
 			c.raise(t, f.Cause, f.Info)
-			return
+			return 0, false
 		}
 		c.mon.CancelWait(c.waiters[target.PTID])
 		c.suspend(target)
@@ -204,7 +457,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 			c.retired++
 			t.Retired++
 			r.PC = nextPC
-			return
+			return 0, false
 		}
 
 	case isa.RPULL:
@@ -214,7 +467,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 			c.retired++
 			t.Retired++
 			c.raise(t, f.Cause, f.Info)
-			return
+			return 0, false
 		}
 		r.Set(in.Rd, val)
 
@@ -225,7 +478,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 			c.retired++
 			t.Retired++
 			c.raise(t, f.Cause, f.Info)
-			return
+			return 0, false
 		}
 		// Remote register writes can grow the target's state footprint.
 		if isa.Reg(in.Imm).IsFP() {
@@ -267,14 +520,13 @@ func (c *Core) execOne(t *hwthread.Context) {
 			if c.tr != nil {
 				c.tr.Complete(c.ptidTrack(t), "syscall", int64(c.eng.Now()), int64(lat))
 			}
-			c.scheduleExec(t, lat)
-			return
+			return lat, true
 		}
 		// nocs personality: exception-less syscall — write a descriptor and
 		// disable; the kernel's syscall ptid is mwait-ing on the doorbell.
 		r.PC = nextPC
 		c.raise(t, hwthread.ExcSyscall, r.GPR[1])
-		return
+		return 0, false
 
 	case isa.VMCALL:
 		c.retired++
@@ -286,12 +538,11 @@ func (c *Core) execOne(t *hwthread.Context) {
 			if c.tr != nil {
 				c.tr.Complete(c.ptidTrack(t), "vm-exit", int64(c.eng.Now()), int64(lat))
 			}
-			c.scheduleExec(t, lat)
-			return
+			return lat, true
 		}
 		r.PC = nextPC
 		c.raise(t, hwthread.ExcVMExit, r.GPR[1])
-		return
+		return 0, false
 
 	case isa.SYSRET:
 		// Supervisor-only (checked above): drop to user mode.
@@ -315,15 +566,15 @@ func (c *Core) execOne(t *hwthread.Context) {
 		if c.tr != nil {
 			c.traceStateBegin(t, "waiting", "hlt")
 		}
-		return
+		return 0, false
 
 	case isa.NATIVE:
 		fn, ok := c.natives[in.Sym]
 		if !ok {
 			c.retired++
 			t.Retired++
-			c.raise(t, hwthread.ExcInvalidOpcode, r.PC)
-			return
+			c.raise(t, hwthread.ExcInvalidOpcode, pc)
+			return 0, false
 		}
 		extra += fn(c, t)
 		c.retired++
@@ -332,17 +583,16 @@ func (c *Core) execOne(t *hwthread.Context) {
 			// The native blocked or disabled this thread. Its PC was left at
 			// this instruction unless the native moved it: blocked threads
 			// re-enter the native on wake (service-loop idiom).
-			return
+			return 0, false
 		}
 		r.PC = nextPC
-		c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+extra))
-		return
+		return c.pipe.ChargedLatency(int(t.PTID), base+extra), true
 
 	default:
 		c.retired++
 		t.Retired++
 		c.raise(t, hwthread.ExcInvalidOpcode, int64(in.Op))
-		return
+		return 0, false
 	}
 
 	// FP state growth: crossing into vector-dirty doubles the architectural
@@ -354,7 +604,7 @@ func (c *Core) execOne(t *hwthread.Context) {
 	c.retired++
 	t.Retired++
 	r.PC = nextPC
-	c.scheduleExec(t, c.pipe.ChargedLatency(int(t.PTID), base+extra))
+	return c.pipe.ChargedLatency(int(t.PTID), base+extra), true
 }
 
 // WakeFromHalt resumes a thread parked by the legacy HLT instruction (the

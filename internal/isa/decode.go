@@ -1,0 +1,54 @@
+package isa
+
+// Decoded is one predecoded instruction: the per-retirement work of decoding
+// (operand extraction, the privilege check, the base-latency cost class) done
+// once per program instead of once per executed instruction. The core's
+// batched execution loop fetches from a []Decoded by PC with no bounds
+// re-derivation, no struct copy of the string-bearing Instr, and no opcode
+// switches for latency or privilege.
+type Decoded struct {
+	Op   Op
+	Rd   Reg
+	Rs1  Reg
+	Rs2  Reg
+	Priv bool // Op.IsPrivileged(), resolved at decode time
+	// Fast marks instructions whose operand fields all name integer
+	// registers (< F0): the interpreter may then index the GPR array
+	// directly, skipping the general Get/Set register dispatch.
+	Fast bool
+	Lat  uint16 // Op.Latency(), the base cost class in cycles
+	Imm  int64
+	Sym  string // NATIVE handler name (empty otherwise)
+}
+
+// Decoded returns the program's predecoded instruction cache, building it on
+// first use. Label references are already resolved into Imm by Build, so
+// predecoding is a pure per-instruction transform.
+//
+// Invalidation rules: a Program is immutable once assembled — Build copies
+// the builder's code, and nothing in the simulator mutates Code afterwards —
+// so the cache is built at most once and never invalidated. Consumers that
+// cache a []Decoded across instructions (the core caches one per ptid at
+// BindProgram time) must key it by Program identity (pointer compare) and
+// refetch when the bound Program changes; the slice itself stays valid for
+// the Program's lifetime.
+func (p *Program) Decoded() []Decoded {
+	if p.decoded == nil && len(p.Code) > 0 {
+		dec := make([]Decoded, len(p.Code))
+		for i, in := range p.Code {
+			dec[i] = Decoded{
+				Op:   in.Op,
+				Rd:   in.Rd,
+				Rs1:  in.Rs1,
+				Rs2:  in.Rs2,
+				Priv: in.Op.IsPrivileged(),
+				Fast: in.Rd < F0 && in.Rs1 < F0 && in.Rs2 < F0,
+				Lat:  uint16(in.Op.Latency()),
+				Imm:  in.Imm,
+				Sym:  in.Sym,
+			}
+		}
+		p.decoded = dec
+	}
+	return p.decoded
+}

@@ -80,6 +80,10 @@ type Program struct {
 	Name   string
 	Code   []Instr
 	Labels map[string]int64 // label -> instruction index
+
+	// decoded is the lazily-built predecode cache (see Decoded). Programs are
+	// immutable after Build, so the cache never needs invalidation.
+	decoded []Decoded
 }
 
 // Len returns the number of instructions.

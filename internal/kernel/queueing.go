@@ -22,7 +22,6 @@ package kernel
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 
 	"nocs/internal/faultinject"
@@ -30,6 +29,37 @@ import (
 	"nocs/internal/trace"
 	"nocs/internal/workload"
 )
+
+// ring is a head-indexed FIFO that recycles its backing array: pop advances
+// the head instead of re-slicing capacity away, and push compacts the live
+// tail to the front when the array fills, so a steady-state server enqueues
+// and dequeues with no allocation. (The old `queue = queue[1:]` idiom leaked
+// capacity on every pop and reallocated on every later append.)
+type ring[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *ring[T]) len() int { return len(q.buf) - q.head }
+
+func (q *ring[T]) push(v T) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+func (q *ring[T]) pop() T {
+	v := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
 
 // laneSet places request spans onto "req-lane-N" tracks. Requests overlap
 // freely inside a queueing server, but spans on one Chrome-trace track must
@@ -96,12 +126,45 @@ type FCFSServer struct {
 	// liveness is deterministic, not probabilistic.
 	Faults *faultinject.Injector
 
-	queue       []workload.Request
+	queue       ring[workload.Request]
 	busy        int
 	done        uint64
 	faulted     uint64
 	faultedOnce map[int]bool
 	lanes       *laneSet
+	// donePool recycles completion-event callbacks: at most K are in flight,
+	// so the steady state schedules completions with zero allocations.
+	donePool []*fcfsDone
+}
+
+// fcfsArrival is an allocation-free arrival event body (sim.Callback).
+// SubmitAll builds one arena of these per request batch.
+type fcfsArrival struct {
+	s *FCFSServer
+	r workload.Request
+}
+
+func (a *fcfsArrival) OnEvent() {
+	a.s.queue.push(a.r)
+	a.s.dispatch()
+}
+
+// fcfsDone is a pooled completion/fault event body: one per busy server.
+type fcfsDone struct {
+	s     *FCFSServer
+	r     workload.Request
+	total sim.Cycles // charged service time (halved service for faults)
+	pen   sim.Cycles
+	fault bool
+}
+
+func (s *FCFSServer) getDone() *fcfsDone {
+	if n := len(s.donePool); n > 0 {
+		d := s.donePool[n-1]
+		s.donePool = s.donePool[:n-1]
+		return d
+	}
+	return &fcfsDone{s: s}
 }
 
 // NewFCFS builds an FCFS server pool.
@@ -126,10 +189,17 @@ func (s *FCFSServer) EnableTrace(tr *trace.Tracer, process string) {
 
 // Submit schedules the arrival.
 func (s *FCFSServer) Submit(r workload.Request) {
-	s.eng.At(r.Arrival, "fcfs-arrival", func() {
-		s.queue = append(s.queue, r)
-		s.dispatch()
-	})
+	s.eng.AtCallback(r.Arrival, "fcfs-arrival", &fcfsArrival{s: s, r: r})
+}
+
+// SubmitAll schedules every arrival in order with a single allocation (one
+// arena of arrival callbacks), replacing a closure per request.
+func (s *FCFSServer) SubmitAll(reqs []workload.Request) {
+	arr := make([]fcfsArrival, len(reqs))
+	for i, r := range reqs {
+		arr[i] = fcfsArrival{s: s, r: r}
+		s.eng.AtCallback(r.Arrival, "fcfs-arrival", &arr[i])
+	}
 }
 
 // Completed returns the number of finished requests.
@@ -155,11 +225,12 @@ func (s *FCFSServer) pollFault(r workload.Request) (sim.Cycles, bool) {
 }
 
 func (s *FCFSServer) dispatch() {
-	for s.busy < s.K && len(s.queue) > 0 {
-		r := s.queue[0]
-		s.queue = s.queue[1:]
+	for s.busy < s.K && s.queue.len() > 0 {
+		r := s.queue.pop()
 		s.busy++
 		total := s.Overhead + r.Demand
+		d := s.getDone()
+		d.r = r
 		if pen, ok := s.pollFault(r); ok {
 			// The request faults mid-service: the hardware writes an
 			// exception descriptor and disables the thread; the kernel's
@@ -170,32 +241,41 @@ func (s *FCFSServer) dispatch() {
 				partial = 1
 			}
 			s.faulted++
-			s.eng.After(partial, "fcfs-fault", func() {
-				s.busy--
-				if s.lanes != nil {
-					now := int64(s.eng.Now())
-					s.lanes.span("fault", "req"+strconv.Itoa(r.ID), now-int64(partial), now)
-				}
-				r2 := r
-				r2.Demand += pen
-				s.queue = append(s.queue, r2)
-				s.dispatch()
-			})
+			d.total, d.pen, d.fault = partial, pen, true
+			s.eng.AfterCallback(partial, "fcfs-fault", d)
 			continue
 		}
-		s.eng.After(total, "fcfs-done", func() {
-			s.busy--
-			s.done++
-			if s.lanes != nil {
-				now := int64(s.eng.Now())
-				s.lanes.span("service", "req"+strconv.Itoa(r.ID), now-int64(total), now)
-			}
-			if s.OnComplete != nil {
-				s.OnComplete(Completion{Req: r, Finish: s.eng.Now(), Latency: s.eng.Now() - r.Arrival})
-			}
-			s.dispatch()
-		})
+		d.total, d.pen, d.fault = total, 0, false
+		s.eng.AfterCallback(total, "fcfs-done", d)
 	}
+}
+
+func (d *fcfsDone) OnEvent() {
+	s := d.s
+	s.busy--
+	if d.fault {
+		if s.lanes != nil {
+			now := int64(s.eng.Now())
+			s.lanes.span("fault", "req"+strconv.Itoa(d.r.ID), now-int64(d.total), now)
+		}
+		r2 := d.r
+		r2.Demand += d.pen
+		s.donePool = append(s.donePool, d)
+		s.queue.push(r2)
+		s.dispatch()
+		return
+	}
+	s.done++
+	if s.lanes != nil {
+		now := int64(s.eng.Now())
+		s.lanes.span("service", "req"+strconv.Itoa(d.r.ID), now-int64(d.total), now)
+	}
+	comp := Completion{Req: d.r, Finish: s.eng.Now(), Latency: s.eng.Now() - d.r.Arrival}
+	s.donePool = append(s.donePool, d)
+	if s.OnComplete != nil {
+		s.OnComplete(comp)
+	}
+	s.dispatch()
 }
 
 // PSServer is fluid processor sharing with capacity C: with n active
@@ -221,17 +301,30 @@ type PSServer struct {
 	Faults *faultinject.Injector
 
 	active     map[int]*psReq
-	pending    []workload.Request
+	pending    ring[workload.Request]
 	lastUpdate sim.Cycles
 	nextEv     sim.Handle
 	nextTarget *psReq
 	done       uint64
 	faulted    uint64
+	// free recycles psReq bodies; finBuf is the reused simultaneous-finisher
+	// buffer (replaces a fresh slice + sort.Slice closure per completion).
+	free   []*psReq
+	finBuf []*psReq
 
 	lanes    *laneSet
 	tr       *trace.Tracer
 	activeTk trace.TrackID
 }
+
+// psArrival is an allocation-free arrival event body; SubmitAll builds one
+// arena of these per request batch.
+type psArrival struct {
+	s *PSServer
+	r workload.Request
+}
+
+func (a *psArrival) OnEvent() { a.s.arrive(a.r) }
 
 type psReq struct {
 	r         workload.Request
@@ -280,20 +373,46 @@ func (s *PSServer) Active() int { return len(s.active) }
 
 // Submit schedules the arrival.
 func (s *PSServer) Submit(r workload.Request) {
-	s.eng.At(r.Arrival, "ps-arrival", func() {
-		s.advance()
-		if s.MaxActive > 0 && len(s.active) >= s.MaxActive {
-			s.pending = append(s.pending, r)
-			return
-		}
-		s.admit(r)
-		s.traceActive()
-		s.reschedule()
-	})
+	s.eng.AtCallback(r.Arrival, "ps-arrival", &psArrival{s: s, r: r})
+}
+
+// SubmitAll schedules every arrival in order with a single allocation (one
+// arena of arrival callbacks), replacing a closure per request.
+func (s *PSServer) SubmitAll(reqs []workload.Request) {
+	arr := make([]psArrival, len(reqs))
+	for i, r := range reqs {
+		arr[i] = psArrival{s: s, r: r}
+		s.eng.AtCallback(r.Arrival, "ps-arrival", &arr[i])
+	}
+}
+
+// arrive is the arrival-event body.
+func (s *PSServer) arrive(r workload.Request) {
+	s.advance()
+	if s.MaxActive > 0 && len(s.active) >= s.MaxActive {
+		s.pending.push(r)
+		return
+	}
+	s.admit(r)
+	s.traceActive()
+	s.reschedule()
+}
+
+// getReq pops a recycled request body (reset) or allocates a fresh one.
+func (s *PSServer) getReq() *psReq {
+	if n := len(s.free); n > 0 {
+		a := s.free[n-1]
+		s.free = s.free[:n-1]
+		*a = psReq{}
+		return a
+	}
+	return &psReq{}
 }
 
 func (s *PSServer) admit(r workload.Request) {
-	a := &psReq{r: r, remaining: float64(s.Overhead + r.Demand)}
+	a := s.getReq()
+	a.r = r
+	a.remaining = float64(s.Overhead + r.Demand)
 	if s.Faults != nil {
 		if pen, ok := s.Faults.RequestFault(); ok {
 			// Fault halfway through service; the requeue happens in OnEvent
@@ -368,7 +487,7 @@ func (s *PSServer) OnEvent() {
 	// Complete everything at or below zero (simultaneous finishers). Collect
 	// first and sort by ID: map order must not leak into completion order or
 	// the trace would be nondeterministic.
-	var finished []*psReq
+	finished := s.finBuf[:0]
 	for id, a := range s.active {
 		if a.remaining <= 1e-9 || a == target {
 			if a.faultPen > 0 {
@@ -385,21 +504,33 @@ func (s *PSServer) OnEvent() {
 			finished = append(finished, a)
 		}
 	}
-	sort.Slice(finished, func(i, j int) bool { return finished[i].r.ID < finished[j].r.ID })
+	s.finBuf = finished
+	// Insertion sort by ID (IDs unique, so the order matches what sort.Slice
+	// produced) on the reused buffer: no comparator closure, no allocation.
+	for i := 1; i < len(finished); i++ {
+		a := finished[i]
+		j := i - 1
+		for j >= 0 && finished[j].r.ID > a.r.ID {
+			finished[j+1] = finished[j]
+			j--
+		}
+		finished[j+1] = a
+	}
 	for _, a := range finished {
 		s.done++
 		if s.lanes != nil {
 			s.lanes.span("sojourn", "req"+strconv.Itoa(a.r.ID),
 				int64(a.r.Arrival), int64(s.eng.Now()))
 		}
+		comp := Completion{Req: a.r, Finish: s.eng.Now(), Latency: s.eng.Now() - a.r.Arrival}
+		s.free = append(s.free, a)
 		if s.OnComplete != nil {
-			s.OnComplete(Completion{Req: a.r, Finish: s.eng.Now(), Latency: s.eng.Now() - a.r.Arrival})
+			s.OnComplete(comp)
 		}
 	}
 	// Admit queued arrivals into freed hardware threads.
-	for len(s.pending) > 0 && (s.MaxActive <= 0 || len(s.active) < s.MaxActive) {
-		s.admit(s.pending[0])
-		s.pending = s.pending[1:]
+	for s.pending.len() > 0 && (s.MaxActive <= 0 || len(s.active) < s.MaxActive) {
+		s.admit(s.pending.pop())
 	}
 	s.traceActive()
 	s.reschedule()
@@ -417,16 +548,61 @@ type TimesliceServer struct {
 	SwitchCost sim.Cycles
 	OnComplete func(Completion)
 
-	queue  []*tsReq
+	queue  ring[*tsReq]
 	busy   int
 	done   uint64
 	sswaps uint64
 	lanes  *laneSet
+	// free recycles tsReq bodies; slicePool recycles slice-event callbacks
+	// (at most K in flight), so steady-state timeslicing allocates nothing.
+	free      []*tsReq
+	slicePool []*tsSlice
 }
 
 type tsReq struct {
 	r         workload.Request
 	remaining sim.Cycles
+}
+
+// tsArrival is an allocation-free arrival event body; SubmitAll builds one
+// arena of these per request batch.
+type tsArrival struct {
+	s *TimesliceServer
+	r workload.Request
+}
+
+func (a *tsArrival) OnEvent() {
+	s := a.s
+	req := s.getReq()
+	req.r = a.r
+	req.remaining = a.r.Demand
+	s.queue.push(req)
+	s.dispatch()
+}
+
+// tsSlice is a pooled quantum-expiry event body: one per busy server.
+type tsSlice struct {
+	s     *TimesliceServer
+	req   *tsReq
+	slice sim.Cycles
+}
+
+func (s *TimesliceServer) getReq() *tsReq {
+	if n := len(s.free); n > 0 {
+		req := s.free[n-1]
+		s.free = s.free[:n-1]
+		return req
+	}
+	return &tsReq{}
+}
+
+func (s *TimesliceServer) getSlice() *tsSlice {
+	if n := len(s.slicePool); n > 0 {
+		ev := s.slicePool[n-1]
+		s.slicePool = s.slicePool[:n-1]
+		return ev
+	}
+	return &tsSlice{s: s}
 }
 
 // NewTimeslice builds a preemptive timeslicing server pool.
@@ -460,16 +636,22 @@ func (s *TimesliceServer) Switches() uint64 { return s.sswaps }
 
 // Submit schedules the arrival.
 func (s *TimesliceServer) Submit(r workload.Request) {
-	s.eng.At(r.Arrival, "ts-arrival", func() {
-		s.queue = append(s.queue, &tsReq{r: r, remaining: r.Demand})
-		s.dispatch()
-	})
+	s.eng.AtCallback(r.Arrival, "ts-arrival", &tsArrival{s: s, r: r})
+}
+
+// SubmitAll schedules every arrival in order with a single allocation (one
+// arena of arrival callbacks), replacing a closure per request.
+func (s *TimesliceServer) SubmitAll(reqs []workload.Request) {
+	arr := make([]tsArrival, len(reqs))
+	for i, r := range reqs {
+		arr[i] = tsArrival{s: s, r: r}
+		s.eng.AtCallback(r.Arrival, "ts-arrival", &arr[i])
+	}
 }
 
 func (s *TimesliceServer) dispatch() {
-	for s.busy < s.K && len(s.queue) > 0 {
-		req := s.queue[0]
-		s.queue = s.queue[1:]
+	for s.busy < s.K && s.queue.len() > 0 {
+		req := s.queue.pop()
 		s.busy++
 		s.runSlice(req)
 	}
@@ -484,30 +666,40 @@ func (s *TimesliceServer) runSlice(req *tsReq) {
 	// and this one restored — in the legacy world this is a software
 	// context switch even when resuming the same request after others ran).
 	s.sswaps++
-	s.eng.After(s.SwitchCost+slice, "ts-slice", func() {
-		if s.lanes != nil {
-			now := int64(s.eng.Now())
-			s.lanes.span("slice", "req"+strconv.Itoa(req.r.ID), now-int64(s.SwitchCost+slice), now)
+	ev := s.getSlice()
+	ev.req, ev.slice = req, slice
+	s.eng.AfterCallback(s.SwitchCost+slice, "ts-slice", ev)
+}
+
+func (e *tsSlice) OnEvent() {
+	s := e.s
+	req, slice := e.req, e.slice
+	e.req = nil
+	s.slicePool = append(s.slicePool, e)
+	if s.lanes != nil {
+		now := int64(s.eng.Now())
+		s.lanes.span("slice", "req"+strconv.Itoa(req.r.ID), now-int64(s.SwitchCost+slice), now)
+	}
+	req.remaining -= slice
+	s.busy--
+	if req.remaining <= 0 {
+		s.done++
+		comp := Completion{Req: req.r, Finish: s.eng.Now(), Latency: s.eng.Now() - req.r.Arrival}
+		s.free = append(s.free, req)
+		if s.OnComplete != nil {
+			s.OnComplete(comp)
 		}
-		req.remaining -= slice
-		s.busy--
-		if req.remaining <= 0 {
-			s.done++
-			if s.OnComplete != nil {
-				s.OnComplete(Completion{Req: req.r, Finish: s.eng.Now(), Latency: s.eng.Now() - req.r.Arrival})
-			}
-		} else {
-			s.queue = append(s.queue, req)
-		}
-		s.dispatch()
-	})
+	} else {
+		s.queue.push(req)
+	}
+	s.dispatch()
 }
 
 // RunOpenLoop submits requests to a server and runs the engine to
 // completion, returning the completions in finish order. All requests must
 // have arrival times at or after the engine's current time.
 func RunOpenLoop(eng *sim.Engine, srv QueueServer, reqs []workload.Request) []Completion {
-	var out []Completion
+	out := make([]Completion, 0, len(reqs))
 	collect := func(c Completion) { out = append(out, c) }
 	switch s := srv.(type) {
 	case *FCFSServer:
@@ -537,8 +729,12 @@ func RunOpenLoop(eng *sim.Engine, srv QueueServer, reqs []workload.Request) []Co
 	default:
 		panic(fmt.Sprintf("kernel: unknown server type %T", srv))
 	}
-	for _, r := range reqs {
-		srv.Submit(r)
+	if bs, ok := srv.(interface{ SubmitAll([]workload.Request) }); ok {
+		bs.SubmitAll(reqs)
+	} else {
+		for _, r := range reqs {
+			srv.Submit(r)
+		}
 	}
 	eng.Run(0)
 	return out

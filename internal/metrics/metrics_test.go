@@ -238,6 +238,24 @@ func TestHistogramRecordAllocFree(t *testing.T) {
 	}
 }
 
+// Preallocate makes Record strictly allocation-free from the first sample —
+// no warmup Record needed — so a preallocated histogram can sit on the
+// batched-execution hot path (ISSUE 6 zero-alloc guard).
+func TestHistogramPreallocateStrictZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	h.Preallocate(1 << 40)
+	v := int64(0)
+	if a := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = (v*1664525 + 1013904223) % (1 << 40)
+	}); a != 0 {
+		t.Fatalf("preallocated Record allocates %.1f per op, want 0", a)
+	}
+	if h.Count() == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
 // The flat-slice rewrite must keep quantiles identical to the bucket
 // definition: a scan in index order is a scan in value order.
 func TestQuantileScanOrderMatchesBucketOrder(t *testing.T) {

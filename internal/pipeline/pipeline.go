@@ -51,10 +51,12 @@ type thread struct {
 type Pipeline struct {
 	slots int
 
-	// threads is dense in stable RR (insertion) order; index maps thread id
-	// to its position. Remove shifts the tail down so order is preserved.
+	// threads is dense in stable RR (insertion) order; pos maps thread id to
+	// its position+1 (0 = absent) — a dense slice, not a map, because the
+	// lookup is on the per-instruction hot path and ids are small (ptids).
+	// Remove shifts the tail down so order is preserved.
 	threads []thread
-	index   map[int]int
+	pos     []int32
 	// cursor is the position NextBatch scans next. Invariant maintained by
 	// Remove: the thread that would have been scanned next keeps that right,
 	// regardless of which position was removed (if the next-to-scan thread
@@ -85,7 +87,23 @@ func New(slots int) *Pipeline {
 	if slots < 1 {
 		slots = 2
 	}
-	return &Pipeline{slots: slots, index: make(map[int]int), epoch: 1}
+	return &Pipeline{slots: slots, epoch: 1}
+}
+
+// posOf returns id's dense index, or -1 when id is not runnable.
+func (p *Pipeline) posOf(id int) int {
+	if id < 0 || id >= len(p.pos) {
+		return -1
+	}
+	return int(p.pos[id]) - 1
+}
+
+// setPos records id's dense index, growing the id table on demand.
+func (p *Pipeline) setPos(id, i int) {
+	for id >= len(p.pos) {
+		p.pos = append(p.pos, 0)
+	}
+	p.pos[id] = int32(i) + 1
 }
 
 // SetTracer attaches a tracer. now supplies the current cycle (the pipeline
@@ -141,7 +159,7 @@ func (p *Pipeline) Add(id, weight int) {
 	if weight < 1 {
 		weight = 1
 	}
-	if i, ok := p.index[id]; ok {
+	if i := p.posOf(id); i >= 0 {
 		t := &p.threads[i]
 		if t.weight != weight {
 			p.totalWeight += weight - t.weight
@@ -150,7 +168,7 @@ func (p *Pipeline) Add(id, weight int) {
 		}
 		return
 	}
-	p.index[id] = len(p.threads)
+	p.setPos(id, len(p.threads))
 	p.threads = append(p.threads, thread{id: id, weight: weight})
 	p.totalWeight += weight
 	p.epoch++
@@ -163,16 +181,16 @@ func (p *Pipeline) Add(id, weight int) {
 // threads is unchanged, and the thread that was due to be scanned next still
 // goes next (its successor, if the removed thread itself was due).
 func (p *Pipeline) Remove(id int) {
-	i, ok := p.index[id]
-	if !ok {
+	i := p.posOf(id)
+	if i < 0 {
 		return
 	}
 	p.totalWeight -= p.threads[i].weight
 	copy(p.threads[i:], p.threads[i+1:])
 	p.threads = p.threads[:len(p.threads)-1]
-	delete(p.index, id)
+	p.pos[id] = 0
 	for j := i; j < len(p.threads); j++ {
-		p.index[p.threads[j].id] = j
+		p.pos[p.threads[j].id] = int32(j) + 1
 	}
 	if p.cursor > i {
 		p.cursor--
@@ -190,13 +208,12 @@ func (p *Pipeline) Remove(id int) {
 
 // Contains reports whether id is runnable.
 func (p *Pipeline) Contains(id int) bool {
-	_, ok := p.index[id]
-	return ok
+	return p.posOf(id) >= 0
 }
 
 // Weight returns thread id's weight (0 if absent).
 func (p *Pipeline) Weight(id int) int {
-	if i, ok := p.index[id]; ok {
+	if i := p.posOf(id); i >= 0 {
 		return p.threads[i].weight
 	}
 	return 0
@@ -204,7 +221,7 @@ func (p *Pipeline) Weight(id int) int {
 
 // Issued returns how many issue slots thread id has consumed via NextBatch.
 func (p *Pipeline) Issued(id int) uint64 {
-	if i, ok := p.index[id]; ok {
+	if i := p.posOf(id); i >= 0 {
 		return p.threads[i].issued
 	}
 	return 0
@@ -228,8 +245,8 @@ func (p *Pipeline) slowdownOf(t *thread) float64 {
 // Slowdown returns the PS slowdown factor for thread id: ≥ 1, equal to 1
 // while the runnable set fits in the SMT slots. Returns 0 for absent ids.
 func (p *Pipeline) Slowdown(id int) float64 {
-	i, ok := p.index[id]
-	if !ok {
+	i := p.posOf(id)
+	if i < 0 {
 		return 0
 	}
 	return p.slowdownOf(&p.threads[i])
@@ -237,12 +254,17 @@ func (p *Pipeline) Slowdown(id int) float64 {
 
 // ChargedLatency scales a base instruction latency by the thread's current
 // PS slowdown, rounding up. This is what the core charges per instruction.
+// The uncontended case (slowdown exactly 1: runnable set fits in the SMT
+// slots) skips the float math entirely.
 func (p *Pipeline) ChargedLatency(id int, base sim.Cycles) sim.Cycles {
-	i, ok := p.index[id]
-	if !ok {
+	i := p.posOf(id)
+	if i < 0 {
 		return base
 	}
 	sd := p.slowdownOf(&p.threads[i])
+	if sd == 1 {
+		return base
+	}
 	c := sim.Cycles(float64(base)*sd + 0.999999)
 	if c < base {
 		c = base

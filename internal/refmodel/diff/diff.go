@@ -106,6 +106,14 @@ func Run(s *progen.Spec, opt Options) (*Result, error) {
 // runEngine sets up and runs the optimized engine, returning its outcome and
 // the refmodel configuration matching its effective timing parameters.
 func runEngine(s *progen.Spec, tr *trace.Tracer) (*outcome, refmodel.Config, error) {
+	return runEngineHook(s, tr, true)
+}
+
+// runEngineHook is runEngine with the per-instruction invariant hook made
+// optional: with invariant=false no OnExec observer is attached, so the
+// engine runs its fastest batched path (the fastRun inner loop), letting the
+// batch-boundary tests diff that exact configuration against the refmodel.
+func runEngineHook(s *progen.Spec, tr *trace.Tracer, invariant bool) (*outcome, refmodel.Config, error) {
 	opts := []machine.Option{
 		machine.WithThreads(s.Threads),
 		machine.WithSMTSlots(s.Slots),
@@ -144,19 +152,21 @@ func runEngine(s *progen.Spec, tr *trace.Tracer) (*outcome, refmodel.Config, err
 	// Engine-side structural invariant, sampled during execution: pipeline
 	// membership must exactly mirror the runnable set.
 	var invErr error
-	execs := 0
-	c.OnExec = func(hwthread.PTID, int64, isa.Instr, sim.Cycles) {
-		execs++
-		if invErr != nil || execs%64 != 0 {
-			return
-		}
-		for _, ctx := range c.Threads().Contexts() {
-			in := c.Pipeline().Contains(int(ctx.PTID))
-			want := ctx.State == hwthread.Runnable
-			if in != want {
-				invErr = fmt.Errorf("engine invariant: ptid %d state %v but pipeline membership %v at cycle %d",
-					ctx.PTID, ctx.State, in, m.Now())
+	if invariant {
+		execs := 0
+		c.OnExec = func(hwthread.PTID, int64, isa.Instr, sim.Cycles) {
+			execs++
+			if invErr != nil || execs%64 != 0 {
 				return
+			}
+			for _, ctx := range c.Threads().Contexts() {
+				in := c.Pipeline().Contains(int(ctx.PTID))
+				want := ctx.State == hwthread.Runnable
+				if in != want {
+					invErr = fmt.Errorf("engine invariant: ptid %d state %v but pipeline membership %v at cycle %d",
+						ctx.PTID, ctx.State, in, m.Now())
+					return
+				}
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"nocs/internal/trace"
 )
@@ -72,6 +73,12 @@ type Engine struct {
 	// else — the zero-allocation guarantee is guard-tested.
 	tr      *trace.Tracer
 	trTrack trace.TrackID
+
+	// deadline/deadlineActive mirror the innermost RunUntil in progress, so
+	// components that advance virtual time inline (the core's batched
+	// execution loop) never run past the point the driver asked to stop at.
+	deadline       Cycles
+	deadlineActive bool
 }
 
 // NewEngine creates an engine driving the given clock.
@@ -101,6 +108,59 @@ func (e *Engine) Pending() int { return len(e.heap) }
 
 // Ran returns the number of events executed so far.
 func (e *Engine) Ran() uint64 { return e.ran }
+
+// Traced reports whether a tracer is attached. Batched execution checks this
+// so that tracing runs always fall back to one event per instruction and the
+// per-dispatch trace instants stay byte-identical.
+func (e *Engine) Traced() bool { return e.tr != nil }
+
+// NextEventAt returns the timestamp of the earliest queued event, or ok=false
+// when the queue is empty. Cancelled-but-unpopped events count: they still
+// occupy the heap, and treating them as a horizon only ends a batch early,
+// which is always safe.
+func (e *Engine) NextEventAt() (Cycles, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+// BatchHorizon returns the latest timestamp an inline-advancing component may
+// reach without reordering anything: one cycle before the earliest queued
+// event, capped at the active RunUntil deadline. With an empty queue and no
+// deadline it returns the maximum Cycles value. The result is invalidated by
+// any scheduling activity — callers may cache it only across steps that
+// provably schedule nothing (the core's fast ALU loop).
+func (e *Engine) BatchHorizon() Cycles {
+	h := Cycles(math.MaxInt64)
+	if len(e.heap) > 0 {
+		h = e.heap[0].at - 1
+	}
+	if e.deadlineActive && e.deadline < h {
+		h = e.deadline
+	}
+	return h
+}
+
+// AdvanceWithin advances the clock to t and returns true iff doing so cannot
+// reorder any queued event or overrun an active RunUntil deadline: it fails
+// (leaving the clock untouched) when an event is queued at or before t, or
+// when t lies beyond the deadline of a RunUntil in progress. This is the
+// scheduling-horizon check for batched execution: a component may keep
+// running inline exactly as long as every step stays strictly ahead of the
+// event queue, because the step it is about to take would otherwise have been
+// the last-scheduled event at time t (ties at t must yield to queued events,
+// which carry earlier sequence numbers).
+func (e *Engine) AdvanceWithin(t Cycles) bool {
+	if len(e.heap) > 0 && e.heap[0].at <= t {
+		return false
+	}
+	if e.deadlineActive && t > e.deadline {
+		return false
+	}
+	e.clock.AdvanceTo(t)
+	return true
+}
 
 // alloc takes a slot from the freelist, growing the arena when empty.
 func (e *Engine) alloc() int32 {
@@ -320,6 +380,9 @@ func (e *Engine) Run(limit int) int {
 // against the deadline rather than unconditionally running it. The clock is
 // left at the later of its current time and the deadline.
 func (e *Engine) RunUntil(deadline Cycles) int {
+	prevD, prevA := e.deadline, e.deadlineActive
+	e.deadline, e.deadlineActive = deadline, true
+	defer func() { e.deadline, e.deadlineActive = prevD, prevA }()
 	n := 0
 	for len(e.heap) > 0 {
 		if e.heap[0].at > deadline {

@@ -5,8 +5,11 @@
 #    byte-identical to the committed golden results_full.txt.
 # 2. Times `nocsim -all` wall clock.
 # 3. Runs the repository testing.B benchmarks with -benchmem.
-# 4. Emits BENCH_1.json: per-experiment ns/op, B/op, allocs/op, plus the
-#    wall times, so the next hot-path PR starts from numbers, not guesses.
+# 4. Emits BENCH_1.json: per-experiment ns/op, B/op, allocs/op (plus
+#    sim-instrs/op and sim-instrs/sec where a benchmark reports them), the
+#    wall times, and the headline instructions_per_sec figure (sustained
+#    simulated-instruction rate from CoreInstructionRate), so the next
+#    hot-path PR starts from numbers, not guesses.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x (default) controls -benchtime; set e.g. BENCHTIME=2s for
@@ -54,28 +57,36 @@ go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$TMP/bench
 
 echo "== writing $OUT =="
 awk -v wall_ms="$wall_ms" -v wall_par_ms="$wall_par_ms" '
-BEGIN { n = 0 }
+BEGIN { n = 0; ips = "" }
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; instrs = ""; rate = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/op")          ns = $(i-1)
+        if ($i == "B/op")           bytes = $(i-1)
+        if ($i == "allocs/op")      allocs = $(i-1)
+        if ($i == "sim-instrs/op")  instrs = $(i-1)
+        if ($i == "sim-instrs/sec") rate = $(i-1)
     }
-    names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs; n++
+    names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs
+    sis[n] = instrs; srs[n] = rate; n++
+    if (name == "CoreInstructionRate" && rate != "") ips = rate
 }
 END {
     printf "{\n"
     printf "  \"nocsim_all_wall_ms\": %d,\n", wall_ms
     printf "  \"nocsim_all_parallel8_wall_ms\": %d,\n", wall_par_ms
     printf "  \"golden_diff\": \"identical\",\n"
+    printf "  \"instructions_per_sec\": %s,\n", ips == "" ? "null" : ips
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            names[i], nss[i], bs[i] == "" ? "null" : bs[i], as[i] == "" ? "null" : as[i], i < n-1 ? "," : ""
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+            names[i], nss[i], bs[i] == "" ? "null" : bs[i], as[i] == "" ? "null" : as[i]
+        if (sis[i] != "") printf ", \"sim_instrs_per_op\": %s", sis[i]
+        if (srs[i] != "") printf ", \"sim_instrs_per_sec\": %s", srs[i]
+        printf "}%s\n", i < n-1 ? "," : ""
     }
     printf "  ]\n}\n"
 }' "$TMP/bench.txt" > "$OUT"

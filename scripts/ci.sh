@@ -15,13 +15,19 @@
 #                        must catch (DESIGN.md §10)
 #   8. fault package   — go vet + race-enabled unit tests for
 #                        internal/faultinject
-#   9. golden diff     — `nocsim -all` must be byte-identical to the
+#   9. allocation gate — CoreInstructionRate + F7_TailLatency allocs/op must
+#                        stay within 10% of scripts/alloc_baseline.txt (the
+#                        zero-alloc hot paths must not silently regrow heap
+#                        traffic)
+#  10. golden diff     — `nocsim -all` must be byte-identical to the
 #                        committed results_full.txt (skip with SKIP_GOLDEN=1
 #                        when the caller performs its own golden run)
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -56,10 +62,29 @@ echo "== fault-injection package (vet + race) =="
 go vet ./internal/faultinject
 go test -race -count=1 ./internal/faultinject
 
+echo "== allocation gate (allocs/op within 10% of scripts/alloc_baseline.txt) =="
+go test -run '^$' -bench '^(BenchmarkCoreInstructionRate|BenchmarkF7_TailLatency)$' \
+    -benchmem -benchtime 1x . > "$TMP/allocgate.txt"
+awk '
+    NR==FNR { if ($0 !~ /^#/ && NF == 2) base[$1] = $2; next }
+    /^Benchmark/ && /allocs\/op/ {
+        name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+        a = ""
+        for (i = 2; i <= NF; i++) if ($i == "allocs/op") a = $(i-1)
+        if (!(name in base)) { printf "FAIL: no baseline for %s in scripts/alloc_baseline.txt\n", name; bad = 1; next }
+        lim = base[name] * 1.10
+        printf "   %-22s %8d allocs/op (baseline %d, limit %.0f)\n", name, a, base[name], lim
+        if (a + 0 > lim) { printf "FAIL: %s allocs/op regressed: %d > %.0f\n", name, a, lim; bad = 1 }
+        seen[name] = 1
+    }
+    END {
+        for (n in base) if (!(n in seen)) { printf "FAIL: baseline benchmark %s did not run\n", n; bad = 1 }
+        exit bad
+    }
+' scripts/alloc_baseline.txt "$TMP/allocgate.txt"
+
 if [ "${SKIP_GOLDEN:-0}" != "1" ]; then
     echo "== determinism: nocsim -all vs results_full.txt =="
-    TMP=$(mktemp -d)
-    trap 'rm -rf "$TMP"' EXIT
     go build -o "$TMP/nocsim" ./cmd/nocsim
     "$TMP/nocsim" -all > "$TMP/all.txt"
     if ! diff -u results_full.txt "$TMP/all.txt" > "$TMP/diff.txt"; then
