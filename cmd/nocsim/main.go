@@ -12,6 +12,15 @@
 //	nocsim -all -parallel 8   # concurrent experiments, identical output
 //	nocsim -all -cpuprofile cpu.pb.gz   # profile the simulator itself
 //	nocsim -exp F1 -trace f1.json       # cycle trace, open at ui.perfetto.dev
+//	nocsim -scale             # S1: one 64-core machine across real CPUs
+//	nocsim -scale -cores 256 -workers 8 # bigger machine, explicit workers
+//
+// Two parallelism axes, one rule (DESIGN.md §12): `-parallel` runs
+// independent experiments/sweep points concurrently (coarse, zero
+// cross-talk); `-workers`/`-shards`/`-lookahead` parallelize INSIDE one
+// machine via the sharded scheduler (S1 and any sharded machine). Both are
+// clamped to GOMAXPROCS, and neither changes a byte of output — worker
+// count is a wall-clock knob only.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 
 	"nocs/internal/bench"
 	"nocs/internal/faultinject"
+	"nocs/internal/sim"
 	"nocs/internal/trace"
 )
 
@@ -40,6 +50,11 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile (after all runs) to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev); forces -parallel 1")
 		faults     = flag.String("faults", "", `fault-injection plan for fault-aware experiments (F2, F16): "default" arms the standard seeded plan, "" runs fault-free`)
+		scale      = flag.Bool("scale", false, "run S1, the sharded-scheduler scaling experiment: one many-core machine executed serially, then across -workers real CPUs, with a byte-identity check between the two")
+		cores      = flag.Int("cores", 0, "simulated core count for -scale (default 64, or 16 with -quick)")
+		workers    = flag.Int("workers", 0, "worker goroutines driving one sharded machine (-scale), clamped to GOMAXPROCS; 0 means GOMAXPROCS")
+		shards     = flag.Int("shards", 0, "event-queue shards for -scale (default one per simulated core)")
+		lookahead  = flag.Int64("lookahead", 0, "cross-shard synchronization horizon in cycles for -scale (default 400, the IPI cost)")
 	)
 	flag.Parse()
 
@@ -59,6 +74,38 @@ func main() {
 			e, _ := bench.Get(id)
 			fmt.Printf("%-4s %s\n", id, e.Title)
 		}
+		return
+	}
+
+	if *scale {
+		sc := bench.DefaultScaleConfig(*quick)
+		if *cores > 0 {
+			sc.Cores = *cores
+		}
+		if *shards > 0 {
+			sc.Shards = *shards
+		}
+		if *lookahead > 0 {
+			sc.Lookahead = sim.Cycles(*lookahead)
+		}
+		if *workers > 0 {
+			sc.Workers = *workers
+		}
+		// Same rule as -parallel: extra workers beyond real CPUs only add
+		// scheduling overhead to a CPU-bound simulator, so clamp.
+		if max := runtime.GOMAXPROCS(0); sc.Workers > max {
+			sc.Workers = max
+		}
+		res, stats, err := bench.RunScale(bench.RunConfig{Seed: *seed, Quick: *quick}, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("S1 stats: cores=%d shards=%d workers=%d serial_ms=%.3f parallel_ms=%.3f speedup=%.4f instrs_per_sec=%.0f hash=%016x\n",
+			stats.Cores, stats.Shards, stats.Workers,
+			stats.SerialWallSec*1e3, stats.ParallelWallSec*1e3,
+			stats.Speedup, stats.InstrsPerSec, stats.Hash)
 		return
 	}
 

@@ -256,7 +256,7 @@ loop:
 		for i := 0; i < 30; i++ {
 			at += sim.Cycles(rng.Exp(3000))
 			i := i
-			m.Engine().At(at, "pkt", func() { nic.Deliver([]int64{int64(i)}) })
+			m.Shard(0).At(at, "pkt", func() { nic.Deliver([]int64{int64(i)}) })
 		}
 		m.Run(0)
 		m.Core(0).BootStart(0)

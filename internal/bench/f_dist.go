@@ -81,7 +81,7 @@ func runF10(cfg RunConfig) (*Result, error) {
 			remaining = f10Shards
 			for s := 0; s < f10Shards; s++ {
 				s := s
-				m.Engine().After(offsets[i][s], "rpc-resp", func() {
+				m.Shard(0).After(offsets[i][s], "rpc-resp", func() {
 					// Shard response: a DMA write into the slot.
 					m.Mem().Write(slotBase+int64(s)*8, int64(i+1), 1) // SrcDMA
 				})
@@ -104,7 +104,7 @@ func runF10(cfg RunConfig) (*Result, error) {
 					maxOff = o
 				}
 			}
-			m.Engine().After(maxOff+f10Process*f10Shards+5000, "next-fanout", pump)
+			m.Shard(0).After(maxOff+f10Process*f10Shards+5000, "next-fanout", pump)
 		}
 		m.Run(0) // park services
 		pump()
@@ -124,7 +124,7 @@ func runF10(cfg RunConfig) (*Result, error) {
 	legacyHist := metrics.NewHistogram()
 	legacySwitches := 0
 	{
-		eng := sim.NewEngine(nil)
+		eng := sim.SoloShard(sim.NewEngine(nil))
 		const workers = 2 // the legacy OS sees 2 logical cores
 		for i := 0; i < fanouts; i++ {
 			issue := eng.Now()

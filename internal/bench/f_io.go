@@ -73,7 +73,7 @@ func f2Arrivals(m *machine.Machine, nic *device.NIC, n int, meanGap float64, see
 	for i := 0; i < n; i++ {
 		at += arr.Next()
 		i := i
-		m.Engine().At(at, "pkt", func() {
+		m.Shard(0).At(at, "pkt", func() {
 			times[i] = nic.Deliver([]int64{int64(i)})
 		})
 		last = at

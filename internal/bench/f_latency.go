@@ -67,7 +67,7 @@ func deliverTrain(m *machine.Machine, nic *device.NIC, n int) []sim.Cycles {
 	times := make([]sim.Cycles, n)
 	for i := 0; i < n; i++ {
 		i := i
-		m.Engine().At(sim.Cycles(i+1)*f1Spacing, "arrival", func() {
+		m.Shard(0).At(sim.Cycles(i+1)*f1Spacing, "arrival", func() {
 			times[i] = nic.Deliver([]int64{int64(i)})
 		})
 	}
@@ -335,7 +335,7 @@ work:
 		}
 		for i := 0; i < events; i++ {
 			i := i
-			m.Engine().At(sim.Cycles(i+1)*period, "tick", func() {
+			m.Shard(0).At(sim.Cycles(i+1)*period, "tick", func() {
 				writeAt[i] = m.Now()
 				m.Mem().Write(mailbox, int64(i+1), 2) // SrcMSI
 			})

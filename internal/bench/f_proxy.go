@@ -59,7 +59,7 @@ func runF14(cfg RunConfig) (*Result, error) {
 				c.WriteWord(f14AppSlot, ukernel.StatusBusy)
 				arg := c.ReadWord(f14AppSlot + 16)
 				cost := f14ProxyWork
-				c.Engine().After(cost, "proxy-fwd", func() {
+				c.Shard().After(cost, "proxy-fwd", func() {
 					c.WriteWord(f14NetSlot+16, arg)
 					c.WriteWord(f14NetSlot, ukernel.StatusPosted)
 				})
@@ -76,7 +76,7 @@ func runF14(cfg RunConfig) (*Result, error) {
 				c.WriteWord(f14NetSlot, ukernel.StatusFree)
 				arg := c.ReadWord(f14NetSlot + 16)
 				cost := f14NetWork
-				c.Engine().After(cost, "net-done", func() {
+				c.Shard().After(cost, "net-done", func() {
 					c.WriteWord(f14AppSlot+24, arg)
 					c.WriteWord(f14AppSlot, ukernel.StatusDone)
 				})
@@ -184,7 +184,7 @@ func runF15(cfg RunConfig) (*Result, error) {
 		}
 		m.Run(0)
 		for i := 0; i < n; i++ {
-			m.Engine().At(sim.Cycles(i+1)*spacing, "ready", func() {
+			m.Shard(0).At(sim.Cycles(i+1)*spacing, "ready", func() {
 				submit := m.Now()
 				s.Submit(kernel.Task{Demand: demand, OnDone: func(at sim.Cycles) {
 					nocsHist.RecordCycles(at - submit - demand)

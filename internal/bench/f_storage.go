@@ -98,7 +98,7 @@ func runF12(cfg RunConfig) (*Result, error) {
 					slot := pendingSlot
 					pendingSlot = -1
 					done := cost
-					c.Engine().After(done, "io-reply", func() {
+					c.Shard().After(done, "io-reply", func() {
 						c.WriteWord(f12Mailbox+24, status)
 						c.WriteWord(f12Mailbox, ukernel.StatusDone)
 					})
@@ -155,7 +155,7 @@ loop:
 		if err != nil {
 			return nil, err
 		}
-		eng := m.Engine()
+		eng := m.Shard(0)
 		h := metrics.NewHistogram()
 		const schedCost = sim.Cycles(400)
 		var submitAt sim.Cycles
@@ -251,7 +251,7 @@ func runF13(cfg RunConfig) (*Result, error) {
 		// store itself costs one ST instruction — no IPI, no kernel entry.
 		for i := 0; i < n; i++ {
 			i := i
-			m.Engine().At(sim.Cycles(i+1)*spacing, "remote-wake", func() {
+			m.Shard(0).At(sim.Cycles(i+1)*spacing, "remote-wake", func() {
 				writeAt[i] = m.Now()
 				m.Core(0).WriteWord(mailbox, int64(i+1))
 			})
@@ -271,7 +271,7 @@ func runF13(cfg RunConfig) (*Result, error) {
 		costs := m.Core(0).Costs()
 		const schedCost = sim.Cycles(400)
 		for i := 0; i < n; i++ {
-			m.Engine().At(sim.Cycles(i+1)*spacing, "ipi-wake", func() {
+			m.Shard(0).At(sim.Cycles(i+1)*spacing, "ipi-wake", func() {
 				t0 := m.Now()
 				// Sender-side scheduler decides, then kicks core 1.
 				m.IRQ().SendIPI(m.Core(0), 0, m.Core(1), 0, func() sim.Cycles {

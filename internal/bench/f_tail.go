@@ -54,8 +54,8 @@ func f7Dist(name string, rng *sim.RNG) workload.Service {
 // runDiscipline runs n requests through a server and returns the latency
 // histogram. When cfg carries a tracer, the server's request spans land in a
 // process group named by label (e.g. "F7/bimodal/0.9/nocs-ps").
-func runDiscipline(cfg RunConfig, label string, mk func(eng *sim.Engine) kernel.QueueServer, reqs []workload.Request) *metrics.Histogram {
-	eng := sim.NewEngine(nil)
+func runDiscipline(cfg RunConfig, label string, mk func(eng *sim.Shard) kernel.QueueServer, reqs []workload.Request) *metrics.Histogram {
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := mk(eng)
 	if cfg.Tracer.Enabled() {
 		if t, ok := srv.(interface {
@@ -80,15 +80,15 @@ func runF7(cfg RunConfig) (*Result, error) {
 	dists := []string{"exponential", "bimodal"}
 	disciplines := []struct {
 		name string
-		mk   func(eng *sim.Engine) kernel.QueueServer
+		mk   func(eng *sim.Shard) kernel.QueueServer
 	}{
-		{"legacy-fcfs", func(eng *sim.Engine) kernel.QueueServer {
+		{"legacy-fcfs", func(eng *sim.Shard) kernel.QueueServer {
 			return kernel.NewFCFS(eng, f7Servers, f7LegacyOverhead, nil)
 		}},
-		{"legacy-timeslice", func(eng *sim.Engine) kernel.QueueServer {
+		{"legacy-timeslice", func(eng *sim.Shard) kernel.QueueServer {
 			return kernel.NewTimeslice(eng, f7Servers, f7Quantum, f7Switch, nil)
 		}},
-		{"nocs-ps", func(eng *sim.Engine) kernel.QueueServer {
+		{"nocs-ps", func(eng *sim.Shard) kernel.QueueServer {
 			return kernel.NewPS(eng, f7Servers, f7NocsOverhead, nil)
 		}},
 	}
@@ -166,7 +166,7 @@ func runA1(cfg RunConfig) (*Result, error) {
 	slotsH := make([]*metrics.Histogram, len(slotsList))
 	if err := ForEachPoint(cfg, len(slotsList), func(i int) error {
 		slots := slotsList[i]
-		slotsH[i] = runDiscipline(cfg, fmt.Sprintf("A1/slots/%d", slots), func(eng *sim.Engine) kernel.QueueServer {
+		slotsH[i] = runDiscipline(cfg, fmt.Sprintf("A1/slots/%d", slots), func(eng *sim.Shard) kernel.QueueServer {
 			return kernel.NewPS(eng, slots, f7NocsOverhead, nil)
 		}, gen(slots, cfg.Seed))
 		return nil
@@ -185,7 +185,7 @@ func runA1(cfg RunConfig) (*Result, error) {
 	poolH := make([]*metrics.Histogram, len(pools))
 	if err := ForEachPoint(cfg, len(pools), func(i int) error {
 		pool := pools[i]
-		poolH[i] = runDiscipline(cfg, fmt.Sprintf("A1/pool/%d", pool), func(eng *sim.Engine) kernel.QueueServer {
+		poolH[i] = runDiscipline(cfg, fmt.Sprintf("A1/pool/%d", pool), func(eng *sim.Shard) kernel.QueueServer {
 			s := kernel.NewPS(eng, f7Servers, f7NocsOverhead, nil)
 			s.MaxActive = pool
 			return s

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"nocs/internal/sim"
+)
+
+// scaleRun builds and runs one S1 machine and returns its summary string.
+func scaleRun(t *testing.T, sc ScaleConfig, workers int) string {
+	t.Helper()
+	m, ring, err := buildScale(sc, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(sc.Horizon)
+	if err := m.Fatal(); err != nil {
+		t.Fatal(err)
+	}
+	var pings uint64
+	for _, p := range ring.pings {
+		pings += p
+	}
+	if pings == 0 {
+		t.Fatal("token ring never advanced")
+	}
+	return scaleSummary(sc, m, ring)
+}
+
+// TestScaleShardSweepDeterminism pins the acceptance criterion on the full
+// machine model: at shard counts 1, 2, 4, and 8 the ShardedScheduler's
+// summary (per-core wake counts and retired instructions) is byte-identical
+// to the SerialScheduler oracle at several worker counts.
+func TestScaleShardSweepDeterminism(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		sc := ScaleConfig{Cores: 8, Ptids: 1, Shards: shards, Horizon: 60_000}
+		sc.fill()
+		oracle := scaleRun(t, sc, 1)
+		for _, workers := range []int{2, 4} {
+			if workers > shards {
+				continue
+			}
+			got := scaleRun(t, sc, workers)
+			if got != oracle {
+				t.Fatalf("shards=%d workers=%d: summary differs from serial oracle\noracle:\n%s\ngot:\n%s",
+					shards, workers, oracle, got)
+			}
+		}
+	}
+}
+
+// TestScaleContendedWakes drives a dense cross-shard monitor-wake workload
+// through the worker pool — every core's pacer is woken across shard
+// boundaries continuously. Run under `go test -race` this is the data-race
+// gate for the sharded path (wired into scripts/ci.sh).
+func TestScaleContendedWakes(t *testing.T) {
+	sc := ScaleConfig{Cores: 8, Ptids: 1, Shards: 8, Workers: 4,
+		Lookahead: sim.Cycles(400), Horizon: 80_000}
+	sc.fill()
+	oracle := scaleRun(t, sc, 1)
+	got := scaleRun(t, sc, 4)
+	if got != oracle {
+		t.Fatalf("contended run diverged from oracle:\n%s\nvs\n%s", oracle, got)
+	}
+}
+
+// TestRunScaleExperiment exercises the full S1 entry point the CLI uses,
+// including its internal serial-vs-sharded byte-identity check.
+func TestRunScaleExperiment(t *testing.T) {
+	sc := DefaultScaleConfig(true)
+	sc.Cores = 8
+	sc.Workers = 2
+	res, stats, err := RunScale(RunConfig{Seed: 1, Quick: true}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pings == 0 || stats.Retired == 0 || stats.Speedup <= 0 {
+		t.Fatalf("degenerate stats: %+v", stats)
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(res.Tables))
+	}
+	for _, want := range []string{"serial (oracle)", "sharded"} {
+		if s := res.Tables[0].String(); !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}

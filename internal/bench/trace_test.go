@@ -162,10 +162,10 @@ func TestF7TraceInterleaving(t *testing.T) {
 		}
 		return reqs
 	}
-	runDiscipline(cfg, "ps", func(eng *sim.Engine) kernel.QueueServer {
+	runDiscipline(cfg, "ps", func(eng *sim.Shard) kernel.QueueServer {
 		return kernel.NewPS(eng, 2, 0, nil)
 	}, burst())
-	runDiscipline(cfg, "fcfs", func(eng *sim.Engine) kernel.QueueServer {
+	runDiscipline(cfg, "fcfs", func(eng *sim.Shard) kernel.QueueServer {
 		return kernel.NewFCFS(eng, 2, 0, nil)
 	}, burst())
 

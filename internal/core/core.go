@@ -123,7 +123,11 @@ type NativeFunc func(c *Core, t *hwthread.Context) sim.Cycles
 
 // Core is one simulated CPU core.
 type Core struct {
-	id      int
+	id int
+	// sh is the shard this core lives on (DESIGN.md §12); eng caches the
+	// shard's engine so the batched execution hot path pays no extra
+	// indirection per horizon check.
+	sh      *sim.Shard
 	eng     *sim.Engine
 	mem     *mem.Memory
 	hier    *mem.Hierarchy
@@ -205,8 +209,10 @@ func (x *execCallback) OnEvent() {
 	x.c.execBatch(x.t)
 }
 
-// New builds a core attached to the machine's engine, memory, and monitor.
-func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core {
+// New builds a core attached to its shard's event queue and the shard-local
+// memory and monitor. Single-shard machines pass the machine's only shard;
+// a bare engine can be adapted with sim.SoloShard.
+func New(cfg Config, sh *sim.Shard, m *mem.Memory, mon *monitor.Engine) *Core {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 64
 	}
@@ -216,7 +222,8 @@ func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core 
 	cfg.Costs.setDefaults()
 	c := &Core{
 		id:      cfg.ID,
-		eng:     eng,
+		sh:      sh,
+		eng:     sh.Engine,
 		mem:     m,
 		hier:    mem.NewHierarchy(m, cfg.Hier),
 		mon:     mon,
@@ -235,7 +242,7 @@ func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core 
 			c.trName = "core" + strconv.Itoa(cfg.ID)
 		}
 		c.trOpen = make([]bool, cfg.Threads)
-		c.pipe.SetTracer(cfg.Tracer, func() int64 { return int64(eng.Now()) }, c.trName)
+		c.pipe.SetTracer(cfg.Tracer, func() int64 { return int64(c.eng.Now()) }, c.trName)
 	}
 	c.waiters = make([]*waiter, cfg.Threads)
 	c.execEv = make([]sim.Handle, cfg.Threads)
@@ -260,7 +267,16 @@ func New(cfg Config, eng *sim.Engine, m *mem.Memory, mon *monitor.Engine) *Core 
 // ID returns the core number.
 func (c *Core) ID() int { return c.id }
 
-// Engine returns the shared event engine.
+// Shard returns the scheduler shard this core lives on. All of the core's
+// events run on this shard; cross-shard interactions go through Shard.Send
+// (or machine.RemoteWrite).
+func (c *Core) Shard() *sim.Shard { return c.sh }
+
+// Engine returns the shard's raw event engine.
+//
+// Deprecated: use Shard — it exposes the same scheduling methods plus
+// cross-shard send, and code holding the raw engine cannot be placed on a
+// sharded machine safely.
 func (c *Core) Engine() *sim.Engine { return c.eng }
 
 // Now returns current simulated time.

@@ -15,14 +15,14 @@ import (
 
 // rig bundles a single-core test machine.
 type rig struct {
-	eng *sim.Engine
+	eng *sim.Shard
 	mem *mem.Memory
 	mon *monitor.Engine
 	c   *Core
 }
 
 func newRig(threads, slots int) *rig {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	mon := monitor.NewEngine()
 	m.AddObserver(mon)
@@ -789,7 +789,7 @@ func TestRegisterNativeDuplicatePanics(t *testing.T) {
 func TestAccessorsAndStats(t *testing.T) {
 	r := newRig(4, 2)
 	c := r.c
-	if c.ID() != 0 || c.Engine() != r.eng || c.Mem() != r.mem || c.Monitor() != r.mon {
+	if c.ID() != 0 || c.Shard() != r.eng || c.Mem() != r.mem || c.Monitor() != r.mon {
 		t.Fatal("accessors")
 	}
 	if c.Threads().Len() != 4 || c.Pipeline().Slots() != 2 {

@@ -14,8 +14,8 @@ type fakeCore struct{ delays int }
 func (f *fakeCore) InjectDelay(p hwthread.PTID, d sim.Cycles) { f.delays++ }
 func (f *fakeCore) WakeFromHalt(p hwthread.PTID)              {}
 
-func nicRig() (*sim.Engine, *mem.Memory, *NIC) {
-	eng := sim.NewEngine(nil)
+func nicRig() (*sim.Shard, *mem.Memory, *NIC) {
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	dma := mem.NewDMA(m, mem.SrcDMA)
 	nic := mustNIC(NICConfig{
@@ -75,7 +75,7 @@ type observerFunc func(addr, val int64, src mem.WriteSource)
 func (f observerFunc) ObserveWrite(addr, val int64, src mem.WriteSource) { f(addr, val, src) }
 
 func TestNICRingOverrunDrops(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	dma := mem.NewDMA(m, mem.SrcDMA)
 	nic := mustNIC(NICConfig{
@@ -102,7 +102,7 @@ func TestNICRingOverrunDrops(t *testing.T) {
 }
 
 func TestNICNoOverrunCheckWithoutHeadAddr(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	nic := mustNIC(NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,
@@ -119,7 +119,7 @@ func TestNICNoOverrunCheckWithoutHeadAddr(t *testing.T) {
 }
 
 func TestNICLegacyVector(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	ctrl := irq.NewController(eng, irq.Costs{})
 	fired := 0
@@ -138,7 +138,7 @@ func TestNICLegacyVector(t *testing.T) {
 }
 
 func TestTimerPeriodicTicks(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	tm := mustTimer(TimerConfig{CounterAddr: 0x100, Period: 1000}, eng,
 		mem.NewDMA(m, mem.SrcMSI), Signal{})
@@ -162,7 +162,7 @@ func TestTimerPeriodicTicks(t *testing.T) {
 }
 
 func TestTimerTickIsMSIWrite(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	var src mem.WriteSource
 	m.AddObserver(observerFunc(func(addr, val int64, s mem.WriteSource) { src = s }))
@@ -176,8 +176,8 @@ func TestTimerTickIsMSIWrite(t *testing.T) {
 	}
 }
 
-func ssdRig() (*sim.Engine, *mem.Memory, *SSD) {
-	eng := sim.NewEngine(nil)
+func ssdRig() (*sim.Shard, *mem.Memory, *SSD) {
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	ssd := mustSSD(SSDConfig{
 		SQBase: 0x40000, CQBase: 0x50000,
@@ -281,7 +281,7 @@ func TestSSDCQTailLastOrdering(t *testing.T) {
 }
 
 func TestSSDLegacyVector(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	ctrl := irq.NewController(eng, irq.Costs{})
 	fired := 0

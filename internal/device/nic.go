@@ -126,7 +126,7 @@ func (c *NICConfig) Validate() error {
 // transmit ring.
 type NIC struct {
 	cfg NICConfig
-	eng *sim.Engine
+	eng *sim.Shard
 	dma *mem.DMA
 	sig Signal
 
@@ -149,7 +149,7 @@ func (n *NIC) SetFaultInjector(inj *faultinject.Injector) { n.inj = inj }
 // NewNIC builds a NIC writing through the given DMA port. The config is
 // validated after defaults are applied; a mis-laid-out device is an error,
 // not a panic.
-func NewNIC(cfg NICConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) (*NIC, error) {
+func NewNIC(cfg NICConfig, eng *sim.Shard, dma *mem.DMA, sig Signal) (*NIC, error) {
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -8,8 +8,8 @@ import (
 	"nocs/internal/sim"
 )
 
-func txRig() (*sim.Engine, *mem.Memory, *NIC) {
-	eng := sim.NewEngine(nil)
+func txRig() (*sim.Shard, *mem.Memory, *NIC) {
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	nic := mustNIC(NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,
@@ -91,7 +91,7 @@ func TestTXStaleDoorbellIgnored(t *testing.T) {
 }
 
 func TestTXDisabledWithoutDoorbell(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	m := mem.NewMemory()
 	nic := mustNIC(NICConfig{
 		RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000,

@@ -75,7 +75,7 @@ func (c *SSDConfig) setDefaults() {
 // with an ordinary store instruction.
 type SSD struct {
 	cfg SSDConfig
-	eng *sim.Engine
+	eng *sim.Shard
 	dma *mem.DMA
 	sig Signal
 
@@ -119,7 +119,7 @@ func (c *SSDConfig) Validate() error {
 
 // NewSSD builds an SSD on the given DMA port. The config is validated after
 // defaults are applied.
-func NewSSD(cfg SSDConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) (*SSD, error) {
+func NewSSD(cfg SSDConfig, eng *sim.Shard, dma *mem.DMA, sig Signal) (*SSD, error) {
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -23,7 +23,7 @@ type TimerConfig struct {
 // (mem.SrcMSI) and, in legacy mode, raises the timer vector.
 type Timer struct {
 	cfg TimerConfig
-	eng *sim.Engine
+	eng *sim.Shard
 	dma *mem.DMA
 	sig Signal
 
@@ -53,7 +53,7 @@ func (c *TimerConfig) Validate() error {
 // "devices" for visibility purposes: their counter writes must be
 // monitorable like any external event). The config is validated after
 // defaults are applied.
-func NewTimer(cfg TimerConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) (*Timer, error) {
+func NewTimer(cfg TimerConfig, eng *sim.Shard, dma *mem.DMA, sig Signal) (*Timer, error) {
 	if cfg.Period == 0 {
 		cfg.Period = 30000
 	}

@@ -11,7 +11,7 @@ import (
 // must* wrap the error-returning constructors for rigs whose configs are
 // compile-time constants: a failure there is a bug in the test itself.
 
-func mustNIC(cfg NICConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *NIC {
+func mustNIC(cfg NICConfig, eng *sim.Shard, dma *mem.DMA, sig Signal) *NIC {
 	n, err := NewNIC(cfg, eng, dma, sig)
 	if err != nil {
 		panic(err)
@@ -19,7 +19,7 @@ func mustNIC(cfg NICConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *NIC {
 	return n
 }
 
-func mustTimer(cfg TimerConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *Timer {
+func mustTimer(cfg TimerConfig, eng *sim.Shard, dma *mem.DMA, sig Signal) *Timer {
 	t, err := NewTimer(cfg, eng, dma, sig)
 	if err != nil {
 		panic(err)
@@ -27,7 +27,7 @@ func mustTimer(cfg TimerConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *Time
 	return t
 }
 
-func mustSSD(cfg SSDConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *SSD {
+func mustSSD(cfg SSDConfig, eng *sim.Shard, dma *mem.DMA, sig Signal) *SSD {
 	s, err := NewSSD(cfg, eng, dma, sig)
 	if err != nil {
 		panic(err)
@@ -40,7 +40,7 @@ func mustSSD(cfg SSDConfig, eng *sim.Engine, dma *mem.DMA, sig Signal) *SSD {
 // a silently dysfunctional device.
 
 func TestNICConfigRejections(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	dma := mem.NewDMA(mem.NewMemory(), mem.SrcDMA)
 	good := NICConfig{RingBase: 0x10000, BufBase: 0x20000, TailAddr: 0x30000}
 	if _, err := NewNIC(good, eng, dma, Signal{}); err != nil {
@@ -78,7 +78,7 @@ func TestNICConfigRejections(t *testing.T) {
 }
 
 func TestTimerConfigRejections(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	dma := mem.NewDMA(mem.NewMemory(), mem.SrcMSI)
 	if _, err := NewTimer(TimerConfig{CounterAddr: 0x100}, eng, dma, Signal{}); err != nil {
 		t.Fatalf("good config rejected: %v", err)
@@ -94,7 +94,7 @@ func TestTimerConfigRejections(t *testing.T) {
 }
 
 func TestSSDConfigRejections(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	dma := mem.NewDMA(mem.NewMemory(), mem.SrcDMA)
 	good := SSDConfig{
 		SQBase: 0x40000, CQBase: 0x50000,

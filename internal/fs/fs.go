@@ -133,7 +133,7 @@ func (f *FS) harvestDriver() sim.Cycles {
 		f.errs++
 		ret = -2
 	}
-	c.Engine().After(cost, "fs-reply", func() {
+	c.Shard().After(cost, "fs-reply", func() {
 		c.WriteWord(appSlot+slotRet, ret)
 		c.WriteWord(appSlot+slotStatus, statusDone)
 	})
@@ -204,7 +204,7 @@ func (f *FS) serveRequests() sim.Cycles {
 			lba := f.files[arg].lba
 			bdSlot := f.bd.SlotBase(0)
 			at := cost
-			c.Engine().After(at, "fs-to-driver", func() {
+			c.Shard().After(at, "fs-to-driver", func() {
 				c.WriteWord(bdSlot+slotOp, devOp)
 				c.WriteWord(bdSlot+slotArg, lba)
 				c.WriteWord(bdSlot+slotStatus, statusPosted)
@@ -223,7 +223,7 @@ func (f *FS) serveRequests() sim.Cycles {
 // reply schedules a Done write into an app slot after `at` cycles.
 func (f *FS) reply(sb int64, at sim.Cycles, ret int64) {
 	c := f.k.Core()
-	c.Engine().After(at, "fs-reply", func() {
+	c.Shard().After(at, "fs-reply", func() {
 		c.WriteWord(sb+slotRet, ret)
 		c.WriteWord(sb+slotStatus, statusDone)
 	})

@@ -170,7 +170,7 @@ func ServeGuests(k *kernel.Nocs, guests []hwthread.PTID, descBase int64,
 				guest := hwthread.PTID(v - 1)
 				cost := cfg.IOCost + c.Costs().ThreadOp
 				// The guest resumes only after the I/O work is done.
-				c.Engine().After(cost, "hv-io-done", func() {
+				c.Shard().After(cost, "hv-io-done", func() {
 					if err := c.StartThreadSupervised(guest); err != nil {
 						panic(err) // guests validated at ServeGuests time
 					}
@@ -218,7 +218,7 @@ func ServeGuests(k *kernel.Nocs, guests []hwthread.PTID, descBase int64,
 					// restarts the guest when the I/O completes.
 					handoff := cost + c.Costs().ThreadOp
 					cost = handoff
-					c.Engine().After(handoff, "hv-handoff", func() {
+					c.Shard().After(handoff, "hv-handoff", func() {
 						c.WriteWord(kernelMailbox, int64(g)+1)
 					})
 					continue
@@ -228,7 +228,7 @@ func ServeGuests(k *kernel.Nocs, guests []hwthread.PTID, descBase int64,
 				}
 				cost += c.Costs().ThreadOp
 				restartAt := cost
-				c.Engine().After(restartAt, "hv-resume", func() {
+				c.Shard().After(restartAt, "hv-resume", func() {
 					if err := c.StartThreadSupervised(g); err != nil {
 						panic(err)
 					}

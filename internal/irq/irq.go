@@ -95,7 +95,7 @@ type vecTrace struct {
 
 // Controller is the machine's legacy interrupt controller.
 type Controller struct {
-	eng   *sim.Engine
+	eng   *sim.Shard
 	costs Costs
 	idt   map[Vector]idtEntry
 
@@ -115,7 +115,7 @@ type Controller struct {
 }
 
 // NewController builds a controller on the shared engine.
-func NewController(eng *sim.Engine, costs Costs) *Controller {
+func NewController(eng *sim.Shard, costs Costs) *Controller {
 	costs.setDefaults()
 	return &Controller{
 		eng: eng, costs: costs,

@@ -16,7 +16,7 @@ func (f *fakeCore) InjectDelay(p hwthread.PTID, d sim.Cycles) { f.delays = appen
 func (f *fakeCore) WakeFromHalt(p hwthread.PTID)              { f.woken = append(f.woken, p) }
 
 func TestDefaults(t *testing.T) {
-	c := NewController(sim.NewEngine(nil), Costs{})
+	c := NewController(sim.SoloShard(sim.NewEngine(nil)), Costs{})
 	got := c.Costs()
 	if got.Entry != 600 || got.Exit != 300 || got.Controller != 100 ||
 		got.IPISend != 400 || got.IPIReceive != 700 {
@@ -25,7 +25,7 @@ func TestDefaults(t *testing.T) {
 }
 
 func TestRegisterValidation(t *testing.T) {
-	c := NewController(sim.NewEngine(nil), Costs{})
+	c := NewController(sim.SoloShard(sim.NewEngine(nil)), Costs{})
 	fc := &fakeCore{}
 	if err := c.Register(3, nil, 0, func(Vector, sim.Cycles) sim.Cycles { return 0 }); err == nil {
 		t.Fatal("nil core accepted")
@@ -46,7 +46,7 @@ func TestRegisterValidation(t *testing.T) {
 }
 
 func TestRaiseDeliversAfterControllerLatency(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	c := NewController(eng, Costs{})
 	fc := &fakeCore{}
 	var handlerAt sim.Cycles
@@ -76,7 +76,7 @@ func TestRaiseDeliversAfterControllerLatency(t *testing.T) {
 }
 
 func TestSpuriousVector(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	c := NewController(eng, Costs{})
 	if got := c.Raise(99); got != 0 {
 		t.Fatalf("spurious raise returned %v", got)
@@ -89,7 +89,7 @@ func TestSpuriousVector(t *testing.T) {
 }
 
 func TestMultipleVectorsIndependent(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	c := NewController(eng, Costs{})
 	fc1, fc2 := &fakeCore{}, &fakeCore{}
 	var order []Vector
@@ -108,7 +108,7 @@ func TestMultipleVectorsIndependent(t *testing.T) {
 }
 
 func TestReregisterReplaces(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	c := NewController(eng, Costs{})
 	fc := &fakeCore{}
 	first, second := 0, 0
@@ -122,7 +122,7 @@ func TestReregisterReplaces(t *testing.T) {
 }
 
 func TestSendIPITimingAndCosts(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	c := NewController(eng, Costs{})
 	snd, rcv := &fakeCore{}, &fakeCore{}
 	var fnAt sim.Cycles
@@ -153,7 +153,7 @@ func TestSendIPITimingAndCosts(t *testing.T) {
 }
 
 func TestSendIPINilFn(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	c := NewController(eng, Costs{})
 	snd, rcv := &fakeCore{}, &fakeCore{}
 	c.SendIPI(snd, 0, rcv, 0, nil)

@@ -10,7 +10,7 @@ import (
 // steadyBatch submits one deterministic batch of n requests via SubmitAll and
 // drains the engine. Arrival times advance from the engine's current time so
 // successive batches replay the same pattern.
-func steadyBatch(eng *sim.Engine, srv interface {
+func steadyBatch(eng *sim.Shard, srv interface {
 	SubmitAll([]workload.Request)
 }, reqs []workload.Request, n int) {
 	base := eng.Now() + 1
@@ -39,21 +39,21 @@ func TestServersSteadyStateAllocBound(t *testing.T) {
 
 	cases := []struct {
 		name  string
-		build func(eng *sim.Engine) interface {
+		build func(eng *sim.Shard) interface {
 			SubmitAll([]workload.Request)
 		}
 	}{
-		{"fcfs", func(eng *sim.Engine) interface {
+		{"fcfs", func(eng *sim.Shard) interface {
 			SubmitAll([]workload.Request)
 		} {
 			return NewFCFS(eng, 4, 10, nil)
 		}},
-		{"ps", func(eng *sim.Engine) interface {
+		{"ps", func(eng *sim.Shard) interface {
 			SubmitAll([]workload.Request)
 		} {
 			return NewPS(eng, 4, 10, nil)
 		}},
-		{"timeslice", func(eng *sim.Engine) interface {
+		{"timeslice", func(eng *sim.Shard) interface {
 			SubmitAll([]workload.Request)
 		} {
 			return NewTimeslice(eng, 4, 100, 5, nil)
@@ -61,7 +61,7 @@ func TestServersSteadyStateAllocBound(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			eng := sim.NewEngine(nil)
+			eng := sim.SoloShard(sim.NewEngine(nil))
 			srv := tc.build(eng)
 			reqs := make([]workload.Request, n)
 			steadyBatch(eng, srv, reqs, n) // warmup: grow rings, pools, heap

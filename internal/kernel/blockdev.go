@@ -99,7 +99,7 @@ func NewBlockDev(k *Nocs, ssd *device.SSD, mailboxBase int64, slots int) (*Block
 				}
 				doorbell := b.submitted
 				at := cost
-				c.Engine().After(at, "bd-doorbell", func() {
+				c.Shard().After(at, "bd-doorbell", func() {
 					c.WriteWord(b.ssd.Config().DoorbellAddr, doorbell)
 				})
 			}
@@ -119,7 +119,7 @@ func NewBlockDev(k *Nocs, ssd *device.SSD, mailboxBase int64, slots int) (*Block
 				}
 				sb := mailboxBase + int64(slot)*bdSlotBytes
 				at := cost
-				c.Engine().After(at, "bd-reply", func() {
+				c.Shard().After(at, "bd-reply", func() {
 					c.WriteWord(sb+bdRet, status)
 					c.WriteWord(sb+bdStatus, bdDone)
 				})

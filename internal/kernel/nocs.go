@@ -191,7 +191,7 @@ func (k *Nocs) ServeSyscalls(users []hwthread.PTID, descBase int64) (hwthread.PT
 			// The user resumes only after the service has actually executed
 			// the call: result delivery and restart land at +cost, not at
 			// wake time.
-			k.c.Engine().After(cost, "syscall-done", func() {
+			k.c.Shard().After(cost, "syscall-done", func() {
 				user.Regs.GPR[1] = ret
 				if err := k.c.StartThreadSupervised(u); err != nil {
 					panic(err) // user threads were validated above
@@ -285,7 +285,7 @@ func (k *Nocs) NewRequestRunner(quantum sim.Cycles) *RequestRunner {
 			fin := c.Pipeline().ChargedLatency(int(t.PTID), step)
 			fn := r.onDone[t.PTID]
 			delete(r.onDone, t.PTID)
-			c.Engine().After(fin, "req-done", func() {
+			c.Shard().After(fin, "req-done", func() {
 				c.StopThread(t.PTID)
 				if fn != nil {
 					fn(c.Now())

@@ -115,7 +115,7 @@ type QueueServer interface {
 // the dataplane-OS baseline. Each dispatch pays Overhead cycles (interrupt
 // delivery, scheduler, context switch) before service.
 type FCFSServer struct {
-	eng        *sim.Engine
+	eng        *sim.Shard
 	K          int
 	Overhead   sim.Cycles
 	OnComplete func(Completion)
@@ -168,7 +168,7 @@ func (s *FCFSServer) getDone() *fcfsDone {
 }
 
 // NewFCFS builds an FCFS server pool.
-func NewFCFS(eng *sim.Engine, k int, overhead sim.Cycles, onComplete func(Completion)) *FCFSServer {
+func NewFCFS(eng *sim.Shard, k int, overhead sim.Cycles, onComplete func(Completion)) *FCFSServer {
 	if k < 1 {
 		k = 1
 	}
@@ -286,7 +286,7 @@ func (d *fcfsDone) OnEvent() {
 // is the hardware-thread start latency (tens of cycles), not a context
 // switch.
 type PSServer struct {
-	eng        *sim.Engine
+	eng        *sim.Shard
 	C          int
 	Overhead   sim.Cycles
 	OnComplete func(Completion)
@@ -335,7 +335,7 @@ type psReq struct {
 }
 
 // NewPS builds a processor-sharing server of capacity c.
-func NewPS(eng *sim.Engine, c int, overhead sim.Cycles, onComplete func(Completion)) *PSServer {
+func NewPS(eng *sim.Shard, c int, overhead sim.Cycles, onComplete func(Completion)) *PSServer {
 	if c < 1 {
 		c = 1
 	}
@@ -542,7 +542,7 @@ func (s *PSServer) OnEvent() {
 // plus scheduler, §1). As Quantum → 0 it approaches PS but the switch
 // overhead dominates; as Quantum → ∞ it degenerates to FCFS.
 type TimesliceServer struct {
-	eng        *sim.Engine
+	eng        *sim.Shard
 	K          int
 	Quantum    sim.Cycles
 	SwitchCost sim.Cycles
@@ -606,7 +606,7 @@ func (s *TimesliceServer) getSlice() *tsSlice {
 }
 
 // NewTimeslice builds a preemptive timeslicing server pool.
-func NewTimeslice(eng *sim.Engine, k int, quantum, switchCost sim.Cycles, onComplete func(Completion)) *TimesliceServer {
+func NewTimeslice(eng *sim.Shard, k int, quantum, switchCost sim.Cycles, onComplete func(Completion)) *TimesliceServer {
 	if k < 1 {
 		k = 1
 	}
@@ -698,7 +698,7 @@ func (e *tsSlice) OnEvent() {
 // RunOpenLoop submits requests to a server and runs the engine to
 // completion, returning the completions in finish order. All requests must
 // have arrival times at or after the engine's current time.
-func RunOpenLoop(eng *sim.Engine, srv QueueServer, reqs []workload.Request) []Completion {
+func RunOpenLoop(eng *sim.Shard, srv QueueServer, reqs []workload.Request) []Completion {
 	out := make([]Completion, 0, len(reqs))
 	collect := func(c Completion) { out = append(out, c) }
 	switch s := srv.(type) {

@@ -11,7 +11,7 @@ import (
 
 // mm1Run drives an M/M/1 system through the given server constructor and
 // returns the mean sojourn time.
-func runMean(t *testing.T, srv QueueServer, eng *sim.Engine, reqs []workload.Request) float64 {
+func runMean(t *testing.T, srv QueueServer, eng *sim.Shard, reqs []workload.Request) float64 {
 	t.Helper()
 	comps := RunOpenLoop(eng, srv, reqs)
 	if len(comps) != len(reqs) {
@@ -35,7 +35,7 @@ func TestFCFSMatchesMM1Theory(t *testing.T) {
 	// M/M/1 FCFS mean sojourn = 1/(mu - lambda). With mean service 1000 and
 	// load 0.5: T = 1000/(1-0.5) = 2000.
 	const n = 60000
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := NewFCFS(eng, 1, 0, nil)
 	got := runMean(t, srv, eng, mm1Requests(n, 0.5, 1000, 42))
 	want := 2000.0
@@ -50,7 +50,7 @@ func TestFCFSMatchesMM1Theory(t *testing.T) {
 func TestPSMatchesMM1Theory(t *testing.T) {
 	// M/M/1 PS has the same mean sojourn as FCFS: 1/(mu - lambda).
 	const n = 60000
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := NewPS(eng, 1, 0, nil)
 	got := runMean(t, srv, eng, mm1Requests(n, 0.5, 1000, 43))
 	want := 2000.0
@@ -79,9 +79,9 @@ func TestPSInsensitivity(t *testing.T) {
 	exp := workload.Exponential{M: meanSvc, RNG: rng2.Split()}
 	reqsE := workload.Generate(n, 0, arr2, exp)
 
-	engB := sim.NewEngine(nil)
+	engB := sim.SoloShard(sim.NewEngine(nil))
 	meanB := runMean(t, NewPS(engB, 1, 0, nil), engB, reqsB)
-	engE := sim.NewEngine(nil)
+	engE := sim.SoloShard(sim.NewEngine(nil))
 	meanE := runMean(t, NewPS(engE, 1, 0, nil), engE, reqsE)
 
 	if math.Abs(meanB-meanE)/meanE > 0.15 {
@@ -103,7 +103,7 @@ func TestFCFSHeadOfLineBlockingUnderHighVariability(t *testing.T) {
 		return workload.Generate(n, 0, arr, svc)
 	}
 
-	p99 := func(srv QueueServer, eng *sim.Engine, reqs []workload.Request) int64 {
+	p99 := func(srv QueueServer, eng *sim.Shard, reqs []workload.Request) int64 {
 		h := metrics.NewHistogram()
 		for _, c := range RunOpenLoop(eng, srv, reqs) {
 			if c.Req.Demand == 1000 { // short requests only
@@ -113,9 +113,9 @@ func TestFCFSHeadOfLineBlockingUnderHighVariability(t *testing.T) {
 		return h.Quantile(0.99)
 	}
 
-	engF := sim.NewEngine(nil)
+	engF := sim.SoloShard(sim.NewEngine(nil))
 	fcfs := p99(NewFCFS(engF, 1, 0, nil), engF, gen(11))
-	engP := sim.NewEngine(nil)
+	engP := sim.SoloShard(sim.NewEngine(nil))
 	ps := p99(NewPS(engP, 1, 0, nil), engP, gen(11))
 
 	if fcfs < 3*ps {
@@ -125,9 +125,9 @@ func TestFCFSHeadOfLineBlockingUnderHighVariability(t *testing.T) {
 
 func TestTimesliceApproachesFCFSWithHugeQuantum(t *testing.T) {
 	reqs := mm1Requests(20000, 0.5, 1000, 13)
-	engA := sim.NewEngine(nil)
+	engA := sim.SoloShard(sim.NewEngine(nil))
 	fcfs := runMean(t, NewFCFS(engA, 1, 0, nil), engA, append([]workload.Request(nil), reqs...))
-	engB := sim.NewEngine(nil)
+	engB := sim.SoloShard(sim.NewEngine(nil))
 	ts := NewTimeslice(engB, 1, 1<<40, 0, nil)
 	tsMean := runMean(t, ts, engB, append([]workload.Request(nil), reqs...))
 	if math.Abs(fcfs-tsMean)/fcfs > 0.01 {
@@ -138,7 +138,7 @@ func TestTimesliceApproachesFCFSWithHugeQuantum(t *testing.T) {
 func TestTimesliceSwitchCostHurts(t *testing.T) {
 	reqs := mm1Requests(20000, 0.6, 3000, 17)
 	run := func(switchCost sim.Cycles) float64 {
-		eng := sim.NewEngine(nil)
+		eng := sim.SoloShard(sim.NewEngine(nil))
 		srv := NewTimeslice(eng, 1, 1000, switchCost, nil)
 		return runMean(t, srv, eng, append([]workload.Request(nil), reqs...))
 	}
@@ -150,7 +150,7 @@ func TestTimesliceSwitchCostHurts(t *testing.T) {
 }
 
 func TestTimesliceCountsSwitches(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := NewTimeslice(eng, 1, 100, 10, nil)
 	// One request of demand 250 = 3 slices.
 	reqs := []workload.Request{{ID: 0, Arrival: 1, Demand: 250}}
@@ -162,7 +162,7 @@ func TestTimesliceCountsSwitches(t *testing.T) {
 
 func TestMultiServerFCFS(t *testing.T) {
 	// Two simultaneous arrivals on 2 servers complete in parallel.
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := NewFCFS(eng, 2, 0, nil)
 	reqs := []workload.Request{
 		{ID: 0, Arrival: 1, Demand: 1000},
@@ -178,7 +178,7 @@ func TestMultiServerFCFS(t *testing.T) {
 
 func TestPSCapacityNoSharingBelowC(t *testing.T) {
 	// With n <= C, everyone runs at full rate.
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := NewPS(eng, 4, 0, nil)
 	var reqs []workload.Request
 	for i := 0; i < 4; i++ {
@@ -194,7 +194,7 @@ func TestPSCapacityNoSharingBelowC(t *testing.T) {
 
 func TestPSEqualSharingAboveC(t *testing.T) {
 	// 2 equal requests on capacity 1 arriving together: each sees ~2x demand.
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := NewPS(eng, 1, 0, nil)
 	reqs := []workload.Request{
 		{ID: 0, Arrival: 1, Demand: 1000},
@@ -209,13 +209,13 @@ func TestPSEqualSharingAboveC(t *testing.T) {
 }
 
 func TestOverheadAppliedOncePerRequest(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	srv := NewFCFS(eng, 1, 500, nil)
 	comps := RunOpenLoop(eng, srv, []workload.Request{{ID: 0, Arrival: 1, Demand: 1000}})
 	if comps[0].Latency != 1500 {
 		t.Fatalf("latency %v, want 1500", comps[0].Latency)
 	}
-	engP := sim.NewEngine(nil)
+	engP := sim.SoloShard(sim.NewEngine(nil))
 	ps := NewPS(engP, 1, 70, nil)
 	compsP := RunOpenLoop(engP, ps, []workload.Request{{ID: 0, Arrival: 1, Demand: 1000}})
 	if compsP[0].Latency != 1070 {
@@ -224,7 +224,7 @@ func TestOverheadAppliedOncePerRequest(t *testing.T) {
 }
 
 func TestServerNames(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	if NewFCFS(eng, 1, 0, nil).Name() != "legacy-fcfs" ||
 		NewPS(eng, 1, 0, nil).Name() != "nocs-ps" ||
 		NewTimeslice(eng, 1, 1, 0, nil).Name() != "legacy-timeslice" {
@@ -233,7 +233,7 @@ func TestServerNames(t *testing.T) {
 }
 
 func TestRunOpenLoopPreservesUserCallback(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	userCalls := 0
 	srv := NewFCFS(eng, 1, 0, func(Completion) { userCalls++ })
 	comps := RunOpenLoop(eng, srv, []workload.Request{{ID: 0, Arrival: 1, Demand: 10}})
@@ -249,11 +249,11 @@ func TestRunOpenLoopUnknownServerPanics(t *testing.T) {
 		}
 	}()
 	type fake struct{ QueueServer }
-	RunOpenLoop(sim.NewEngine(nil), fake{}, nil)
+	RunOpenLoop(sim.SoloShard(sim.NewEngine(nil)), fake{}, nil)
 }
 
 func TestClampsAndDefaults(t *testing.T) {
-	eng := sim.NewEngine(nil)
+	eng := sim.SoloShard(sim.NewEngine(nil))
 	if NewFCFS(eng, 0, 0, nil).K != 1 {
 		t.Fatal("FCFS k clamp")
 	}

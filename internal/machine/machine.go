@@ -1,16 +1,29 @@
-// Package machine assembles complete simulated systems: a shared clock and
-// event engine, physical memory with the generalized monitor engine
-// attached, a legacy interrupt controller, N cores, and device constructors
-// that wire DMA ports and MMIO windows correctly.
+// Package machine assembles complete simulated systems: a scheduler of one
+// or more event-queue shards, per-shard physical memory with the
+// generalized monitor engine attached, per-shard legacy interrupt
+// controllers, N cores, and device constructors that wire DMA ports and
+// MMIO windows correctly.
 //
 // Machines are built with functional options:
 //
 //	m := machine.New(machine.WithCores(2), machine.WithSMTSlots(4))
 //
 // A zero-argument New() gives the paper-default system: one core, two SMT
-// slots, 64 hardware threads, DMA-visible monitoring. Attach a tracer with
-// WithTracer to record a Chrome-trace timeline of the run (see
-// internal/trace).
+// slots, 64 hardware threads, DMA-visible monitoring, a single shard. To
+// run one machine across real CPUs, shard it (DESIGN.md §12):
+//
+//	m := machine.New(machine.WithCores(64),
+//		machine.WithShards(64), machine.WithWorkers(8),
+//		machine.WithLookahead(400))
+//
+// Each shard owns a contiguous block of cores plus its locally attached
+// devices, memory, monitor, and interrupt controller; shards interact only
+// through timestamped cross-shard messages (RemoteWrite, Shard.Send) whose
+// minimum latency is the lookahead. With WithShards(1) — the default —
+// everything lands on shard 0 and the machine is indistinguishable from the
+// classic single-engine build. Attach a tracer with WithTracer to record a
+// Chrome-trace timeline of the run (see internal/trace); tracing serializes
+// window execution, so traces stay deterministic at any worker count.
 package machine
 
 import (
@@ -26,6 +39,13 @@ import (
 	"nocs/internal/trace"
 )
 
+// DefaultLookahead is the conservative synchronization horizon used when
+// WithLookahead is not given: the minimum virtual latency of any
+// cross-shard interaction. 400 cycles is the machine's IPI send cost — the
+// cheapest architected cross-core signal — so no legal remote effect can
+// arrive sooner (DESIGN.md §12 derives this).
+const DefaultLookahead = sim.Cycles(400)
+
 // Config describes a machine. Most callers should use New with options
 // rather than filling this in directly; WithConfig is the escape hatch for
 // fully hand-built configurations.
@@ -34,6 +54,19 @@ type Config struct {
 	Cores int
 	// Core is the per-core template; its ID field is overridden per core.
 	Core core.Config
+	// Shards is the number of event-queue shards (default 1; clamped to
+	// Cores). Cores are assigned to shards in contiguous blocks; each shard
+	// gets its own memory, monitor, and interrupt controller, so shards
+	// share no mutable state and may execute concurrently.
+	Shards int
+	// Workers is the number of OS threads driving the shards (default 1 =
+	// SerialScheduler, the determinism oracle; >1 selects the
+	// ShardedScheduler). Output is byte-identical at any worker count.
+	Workers int
+	// Lookahead is the cross-shard synchronization horizon in cycles
+	// (default DefaultLookahead). RemoteWrite and Shard.Send must use
+	// delays of at least this value.
+	Lookahead sim.Cycles
 	// DMAMonitorVisible controls whether device writes trigger monitor
 	// wakeups (true = the paper's hardware; false = today's x86, ablation
 	// A2). CPU writes are always visible.
@@ -42,7 +75,9 @@ type Config struct {
 	IRQ irq.Costs
 	// Tracer, when non-nil, records engine dispatch, monitor arm/fire,
 	// IRQ delivery, per-ptid state spans, and device DMA on a shared
-	// timeline. Nil (the default) costs nothing on the hot paths.
+	// timeline. Nil (the default) costs nothing on the hot paths. The
+	// tracer is single-threaded, so it also forces serial (oracle)
+	// window execution regardless of Workers.
 	Tracer *trace.Tracer
 	// Name prefixes this machine's trace track groups (default "machine"),
 	// so several machines can share one tracer without colliding.
@@ -51,7 +86,9 @@ type Config struct {
 	// every layer of the machine: delayed/reordered/dropped DMA and MSI
 	// completions, spurious and coalesced monitor wakeups, transient
 	// state-transfer errors, and mid-request thread faults (see
-	// internal/faultinject). The zero plan injects nothing.
+	// internal/faultinject). The zero plan injects nothing. On a sharded
+	// machine each shard gets its own injector with a shard-salted seed,
+	// so fault schedules stay deterministic at any worker count.
 	FaultPlan faultinject.Plan
 }
 
@@ -66,6 +103,21 @@ func WithSMTSlots(k int) Option { return func(c *Config) { c.Core.Slots = k } }
 
 // WithThreads sets the per-core hardware thread (ptid) count.
 func WithThreads(n int) Option { return func(c *Config) { c.Core.Threads = n } }
+
+// WithShards splits the machine into n event-queue shards (clamped to the
+// core count). Shard 0 always exists; WithShards(1) is the classic
+// single-engine machine.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithWorkers sets how many OS threads drive the shards. 1 (the default)
+// is the serial oracle; >1 runs windows on a goroutine pool with identical
+// output.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithLookahead sets the cross-shard synchronization horizon in cycles.
+func WithLookahead(cycles sim.Cycles) Option {
+	return func(c *Config) { c.Lookahead = cycles }
+}
 
 // WithCoreConfig replaces the whole per-core template (ID is still
 // overridden per core).
@@ -99,24 +151,34 @@ func WithFaultPlan(p faultinject.Plan) Option { return func(c *Config) { c.Fault
 // defaults New starts from).
 func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
 
+// shardState is everything one shard owns: its event queue plus the
+// shard-local memory system, monitor, interrupt controller, and fault
+// injector. Nothing in here is ever touched from another shard's events.
+type shardState struct {
+	sh  *sim.Shard
+	mem *mem.Memory
+	mon *monitor.Engine
+	irq *irq.Controller
+	inj *faultinject.Injector
+}
+
 // Machine is a complete simulated system.
 type Machine struct {
-	eng   *sim.Engine
-	mem   *mem.Memory
-	mon   *monitor.Engine
-	irq   *irq.Controller
-	cores []*core.Core
+	sched     sim.Scheduler
+	shards    []shardState
+	cores     []*core.Core
+	coreShard []sim.ShardID
+	look      sim.Cycles
 
 	tr   *trace.Tracer
 	name string
-	inj  *faultinject.Injector
 	// Per-kind device counters, used only to name trace tracks
 	// ("nic0", "timer1", ...).
 	nNIC, nTimer, nSSD int
 }
 
-// New builds a machine from the paper defaults (one core, DMA-visible
-// monitoring) modified by the given options.
+// New builds a machine from the paper defaults (one core, one shard,
+// DMA-visible monitoring) modified by the given options.
 func New(opts ...Option) *Machine {
 	cfg := Config{Cores: 1, DMAMonitorVisible: true}
 	for _, o := range opts {
@@ -128,48 +190,102 @@ func New(opts ...Option) *Machine {
 	if cfg.Name == "" {
 		cfg.Name = "machine"
 	}
-	eng := sim.NewEngine(nil)
-	m := mem.NewMemory()
-	mon := monitor.NewEngine()
-	mon.DMAVisible = cfg.DMAMonitorVisible
-	m.AddObserver(mon)
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.Cores {
+		cfg.Shards = cfg.Cores
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = DefaultLookahead
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > cfg.Shards {
+		cfg.Workers = cfg.Shards
+	}
+
+	var sched sim.Scheduler
+	if cfg.Workers > 1 && cfg.Tracer == nil {
+		sched = sim.NewShardedScheduler(cfg.Shards, cfg.Lookahead, cfg.Workers)
+	} else {
+		sched = sim.NewSerialScheduler(cfg.Shards, cfg.Lookahead)
+	}
+
 	mach := &Machine{
-		eng:  eng,
-		mem:  m,
-		mon:  mon,
-		irq:  irq.NewController(eng, cfg.IRQ),
-		tr:   cfg.Tracer,
-		name: cfg.Name,
+		sched: sched,
+		look:  sched.Lookahead(),
+		tr:    cfg.Tracer,
+		name:  cfg.Name,
 	}
-	if tr := cfg.Tracer; tr != nil {
-		now := func() int64 { return int64(eng.Now()) }
-		eng.SetTracer(tr, tr.NewTrack(cfg.Name+"/engine", "dispatch"))
-		mon.SetTracer(tr, now, cfg.Name+"/monitor")
-		mach.irq.SetTracer(tr, cfg.Name+"/irq")
-	}
-	if inj := faultinject.New(cfg.FaultPlan); inj != nil {
-		mach.inj = inj
-		if tr := cfg.Tracer; tr != nil {
-			inj.SetTracer(tr, func() int64 { return int64(eng.Now()) }, cfg.Name+"/faults")
+
+	for s := 0; s < cfg.Shards; s++ {
+		sh := sched.Shard(sim.ShardID(s))
+		m := mem.NewMemory()
+		mon := monitor.NewEngine()
+		mon.DMAVisible = cfg.DMAMonitorVisible
+		m.AddObserver(mon)
+		st := shardState{
+			sh:  sh,
+			mem: m,
+			mon: mon,
+			irq: irq.NewController(sh, cfg.IRQ),
 		}
-		mon.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) {
-			eng.After(d, name, fn)
-		})
+		if tr := cfg.Tracer; tr != nil {
+			pre := mach.shardTracePrefix(sim.ShardID(s))
+			now := func() int64 { return int64(sh.Now()) }
+			sh.SetTracer(tr, tr.NewTrack(pre+"/engine", "dispatch"))
+			mon.SetTracer(tr, now, pre+"/monitor")
+			st.irq.SetTracer(tr, pre+"/irq")
+		}
+		plan := cfg.FaultPlan
+		if s > 0 {
+			// Distinct deterministic fault stream per shard: schedules may
+			// not depend on which worker runs which shard, only on the
+			// plan, so salt the seed by shard identity.
+			plan.Seed ^= 0x9E3779B97F4A7C15 * uint64(s)
+		}
+		if inj := faultinject.New(plan); inj != nil {
+			st.inj = inj
+			if tr := cfg.Tracer; tr != nil {
+				inj.SetTracer(tr, func() int64 { return int64(sh.Now()) },
+					mach.shardTracePrefix(sim.ShardID(s))+"/faults")
+			}
+			mon.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) {
+				sh.After(d, name, fn)
+			})
+		}
+		mach.shards = append(mach.shards, st)
 	}
+
 	for i := 0; i < cfg.Cores; i++ {
+		s := sim.ShardID(i * cfg.Shards / cfg.Cores)
 		cc := cfg.Core
 		cc.ID = i
 		if cfg.Tracer != nil {
 			cc.Tracer = cfg.Tracer
 			cc.TraceName = fmt.Sprintf("%s/core%d", cfg.Name, i)
 		}
-		c := core.New(cc, eng, m, mon)
-		if mach.inj != nil {
-			c.SetFaultInjector(mach.inj)
+		st := &mach.shards[s]
+		c := core.New(cc, st.sh, st.mem, st.mon)
+		if st.inj != nil {
+			c.SetFaultInjector(st.inj)
 		}
 		mach.cores = append(mach.cores, c)
+		mach.coreShard = append(mach.coreShard, s)
 	}
 	return mach
+}
+
+// shardTracePrefix keeps the classic track names on a single-shard machine
+// ("machine/engine", …) and disambiguates per shard otherwise
+// ("machine/s2/engine", …).
+func (m *Machine) shardTracePrefix(s sim.ShardID) string {
+	if len(m.shards) <= 1 && s == 0 {
+		return m.name
+	}
+	return fmt.Sprintf("%s/s%d", m.name, s)
 }
 
 // NewDefault builds a single-core machine with paper-default settings and
@@ -180,26 +296,68 @@ func NewDefault() *Machine {
 	return New()
 }
 
-// Engine returns the shared event engine.
-func (m *Machine) Engine() *sim.Engine { return m.eng }
+// Scheduler returns the machine's scheduler — the redesigned driving
+// surface (RunUntil, shard handles, horizon queries).
+func (m *Machine) Scheduler() sim.Scheduler { return m.sched }
 
-// Now returns the current simulated time.
-func (m *Machine) Now() sim.Cycles { return m.eng.Now() }
+// Shards returns the shard count (1 for a classic machine).
+func (m *Machine) Shards() int { return len(m.shards) }
 
-// Mem returns physical memory.
-func (m *Machine) Mem() *mem.Memory { return m.mem }
+// Shard returns the handle for shard s (nil if out of range). Components
+// built by hand must be wired to the shard that owns their state.
+func (m *Machine) Shard(s sim.ShardID) *sim.Shard {
+	if int(s) < 0 || int(s) >= len(m.shards) {
+		return nil
+	}
+	return m.shards[s].sh
+}
 
-// Monitor returns the monitor engine.
-func (m *Machine) Monitor() *monitor.Engine { return m.mon }
+// ShardOfCore returns the shard core i lives on.
+func (m *Machine) ShardOfCore(i int) sim.ShardID { return m.coreShard[i] }
 
-// IRQ returns the legacy interrupt controller.
-func (m *Machine) IRQ() *irq.Controller { return m.irq }
+// Lookahead returns the cross-shard synchronization horizon.
+func (m *Machine) Lookahead() sim.Cycles { return m.look }
+
+// Engine returns shard 0's raw event engine.
+//
+// Deprecated: use Shard(0) (or Scheduler for run control) — the raw engine
+// bypasses the sharding model and is only safe on a single-shard machine.
+func (m *Machine) Engine() *sim.Engine { return m.shards[0].sh.Engine }
+
+// Now returns the committed global simulated time.
+func (m *Machine) Now() sim.Cycles { return m.sched.Now() }
+
+// Mem returns shard 0's physical memory (the machine's only memory on a
+// classic single-shard build). Use MemOf on sharded machines.
+func (m *Machine) Mem() *mem.Memory { return m.shards[0].mem }
+
+// MemOf returns shard s's physical memory.
+func (m *Machine) MemOf(s sim.ShardID) *mem.Memory { return m.shards[s].mem }
+
+// Monitor returns shard 0's monitor engine. Use MonitorOf on sharded
+// machines.
+func (m *Machine) Monitor() *monitor.Engine { return m.shards[0].mon }
+
+// MonitorOf returns shard s's monitor engine.
+func (m *Machine) MonitorOf(s sim.ShardID) *monitor.Engine { return m.shards[s].mon }
+
+// IRQ returns shard 0's legacy interrupt controller. Use IRQOf on sharded
+// machines.
+func (m *Machine) IRQ() *irq.Controller { return m.shards[0].irq }
+
+// IRQOf returns shard s's legacy interrupt controller.
+func (m *Machine) IRQOf(s sim.ShardID) *irq.Controller { return m.shards[s].irq }
 
 // Tracer returns the attached tracer (nil when tracing is off).
 func (m *Machine) Tracer() *trace.Tracer { return m.tr }
 
-// FaultInjector returns the armed fault injector (nil when faults are off).
-func (m *Machine) FaultInjector() *faultinject.Injector { return m.inj }
+// FaultInjector returns shard 0's armed fault injector (nil when faults
+// are off).
+func (m *Machine) FaultInjector() *faultinject.Injector { return m.shards[0].inj }
+
+// FaultInjectorOf returns shard s's armed fault injector (nil when faults
+// are off).
+func (m *Machine) FaultInjectorOf(s sim.ShardID) *faultinject.Injector { return m.shards[s].inj }
 
 // Cores returns the core count.
 func (m *Machine) Cores() int { return len(m.cores) }
@@ -212,12 +370,36 @@ func (m *Machine) Core(i int) *core.Core {
 	return m.cores[i]
 }
 
-// Run drains the event queue (or runs at most limit events; limit <= 0 means
-// unlimited). It returns the number of events executed.
-func (m *Machine) Run(limit int) int { return m.eng.Run(limit) }
+// Run drains the event queues (or runs at most limit events; limit <= 0
+// means unlimited; a positive limit is single-shard only). It returns the
+// number of events executed.
+func (m *Machine) Run(limit int) int { return m.sched.Run(limit) }
 
-// RunUntil executes events up to the deadline.
-func (m *Machine) RunUntil(deadline sim.Cycles) int { return m.eng.RunUntil(deadline) }
+// RunUntil executes events up to the deadline on every shard.
+func (m *Machine) RunUntil(deadline sim.Cycles) int { return m.sched.RunUntil(deadline) }
+
+// remoteWrite is the delivered body of a RemoteWrite: it runs on the target
+// shard and performs a plain CPU-visible store there, so monitors on the
+// target shard observe it exactly like a local write.
+type remoteWrite struct {
+	mem  *mem.Memory
+	addr int64
+	val  int64
+}
+
+func (rw *remoteWrite) OnEvent() { rw.mem.Write(rw.addr, rw.val, mem.SrcCPU) }
+
+// RemoteWrite performs a cross-shard memory store: after `delay` cycles
+// (>= Lookahead; 0 means exactly Lookahead) the value lands in shard `to`'s
+// memory as a CPU-visible write, waking any monitor armed on the address —
+// the sharded generalization of the paper's remote-write wakeup. From == to
+// degenerates to a local delayed store.
+func (m *Machine) RemoteWrite(from, to sim.ShardID, addr, val int64, delay sim.Cycles) {
+	if delay <= 0 {
+		delay = m.look
+	}
+	m.shards[from].sh.Send(to, delay, "xwrite", &remoteWrite{mem: m.shards[to].mem, addr: addr, val: val})
+}
 
 // Fatal returns the first core fatal error, if any.
 func (m *Machine) Fatal() error {
@@ -240,58 +422,80 @@ func (m *Machine) Retired() uint64 {
 
 // wireDMA attaches the machine's tracer to a device DMA port, giving the
 // device its own track in the "<name>/devices" group.
-func (m *Machine) wireDMA(d *mem.DMA, devName string) {
+func (m *Machine) wireDMA(s sim.ShardID, d *mem.DMA, devName string) {
 	if m.tr == nil {
 		return
 	}
+	sh := m.shards[s].sh
 	track := m.tr.NewTrack(m.name+"/devices", devName)
-	d.SetTracer(m.tr, func() int64 { return int64(m.eng.Now()) }, track)
+	d.SetTracer(m.tr, func() int64 { return int64(sh.Now()) }, track)
 }
 
-// NewNIC attaches a NIC with its own DMA port. The config is validated; if
-// it enables the transmit side, the TX doorbell MMIO window is mapped too.
+// NewNIC attaches a NIC to shard 0 with its own DMA port. The config is
+// validated; if it enables the transmit side, the TX doorbell MMIO window
+// is mapped too.
 func (m *Machine) NewNIC(cfg device.NICConfig, sig device.Signal) (*device.NIC, error) {
-	dma := mem.NewDMA(m.mem, mem.SrcDMA)
-	n, err := device.NewNIC(cfg, m.eng, dma, sig)
+	return m.NewNICOn(0, cfg, sig)
+}
+
+// NewNICOn attaches a NIC to shard s: its events, DMA writes, and MMIO
+// window all live on that shard, so it must signal cores of the same shard.
+func (m *Machine) NewNICOn(s sim.ShardID, cfg device.NICConfig, sig device.Signal) (*device.NIC, error) {
+	st := &m.shards[s]
+	dma := mem.NewDMA(st.mem, mem.SrcDMA)
+	n, err := device.NewNIC(cfg, st.sh, dma, sig)
 	if err != nil {
 		return nil, err
 	}
-	n.SetFaultInjector(m.inj)
+	n.SetFaultInjector(st.inj)
 	if db := n.Config().TXDoorbell; db != 0 {
-		if err := m.mem.MapMMIO(db, 8, n); err != nil {
+		if err := st.mem.MapMMIO(db, 8, n); err != nil {
 			return nil, fmt.Errorf("machine: mapping NIC TX doorbell: %w", err)
 		}
 	}
-	m.wireDMA(dma, fmt.Sprintf("nic%d", m.nNIC))
+	m.wireDMA(s, dma, fmt.Sprintf("nic%d", m.nNIC))
 	m.nNIC++
 	return n, nil
 }
 
-// NewTimer attaches a timer whose ticks are MSI-style memory writes.
+// NewTimer attaches a timer to shard 0 whose ticks are MSI-style memory
+// writes.
 func (m *Machine) NewTimer(cfg device.TimerConfig, sig device.Signal) (*device.Timer, error) {
-	dma := mem.NewDMA(m.mem, mem.SrcMSI)
-	t, err := device.NewTimer(cfg, m.eng, dma, sig)
+	return m.NewTimerOn(0, cfg, sig)
+}
+
+// NewTimerOn attaches a timer to shard s.
+func (m *Machine) NewTimerOn(s sim.ShardID, cfg device.TimerConfig, sig device.Signal) (*device.Timer, error) {
+	st := &m.shards[s]
+	dma := mem.NewDMA(st.mem, mem.SrcMSI)
+	t, err := device.NewTimer(cfg, st.sh, dma, sig)
 	if err != nil {
 		return nil, err
 	}
-	t.SetFaultInjector(m.inj)
-	m.wireDMA(dma, fmt.Sprintf("timer%d", m.nTimer))
+	t.SetFaultInjector(st.inj)
+	m.wireDMA(s, dma, fmt.Sprintf("timer%d", m.nTimer))
 	m.nTimer++
 	return t, nil
 }
 
-// NewSSD attaches an SSD and maps its doorbell MMIO window.
+// NewSSD attaches an SSD to shard 0 and maps its doorbell MMIO window.
 func (m *Machine) NewSSD(cfg device.SSDConfig, sig device.Signal) (*device.SSD, error) {
-	dma := mem.NewDMA(m.mem, mem.SrcDMA)
-	ssd, err := device.NewSSD(cfg, m.eng, dma, sig)
+	return m.NewSSDOn(0, cfg, sig)
+}
+
+// NewSSDOn attaches an SSD to shard s.
+func (m *Machine) NewSSDOn(s sim.ShardID, cfg device.SSDConfig, sig device.Signal) (*device.SSD, error) {
+	st := &m.shards[s]
+	dma := mem.NewDMA(st.mem, mem.SrcDMA)
+	ssd, err := device.NewSSD(cfg, st.sh, dma, sig)
 	if err != nil {
 		return nil, err
 	}
-	ssd.SetFaultInjector(m.inj)
-	if err := m.mem.MapMMIO(ssd.Config().DoorbellAddr, 8, ssd); err != nil {
+	ssd.SetFaultInjector(st.inj)
+	if err := st.mem.MapMMIO(ssd.Config().DoorbellAddr, 8, ssd); err != nil {
 		return nil, fmt.Errorf("machine: mapping SSD doorbell: %w", err)
 	}
-	m.wireDMA(dma, fmt.Sprintf("ssd%d", m.nSSD))
+	m.wireDMA(s, dma, fmt.Sprintf("ssd%d", m.nSSD))
 	m.nSSD++
 	return ssd, nil
 }

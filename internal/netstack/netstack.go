@@ -218,7 +218,7 @@ func (s *Stack) drainRX() sim.Cycles {
 		sock.delivered++
 		at := cost
 		db := sock.delivered
-		c.Engine().After(at, "sock-rx", func() {
+		c.Shard().After(at, "sock-rx", func() {
 			c.WriteWord(sock.base+sockDoorbell, db)
 		})
 		s.received++
@@ -256,7 +256,7 @@ func (s *Stack) drainSend() sim.Cycles {
 	s.txSeq++
 	cost := s.cfg.PerPacket/2 + c.AccessCost(s.nic.Config().TXDoorbell)
 	seq := s.txSeq
-	c.Engine().After(cost, "tx-doorbell", func() {
+	c.Shard().After(cost, "tx-doorbell", func() {
 		c.WriteWord(s.nic.Config().TXDoorbell, seq)
 	})
 	s.sent++
@@ -298,7 +298,7 @@ func (s *Stack) SendWithRetry(payloadAddr, words int64, backoff sim.Cycles) {
 		if next > cap {
 			next = cap
 		}
-		s.k.Core().Engine().After(wait, "send-retry", func() { attempt(next) })
+		s.k.Core().Shard().After(wait, "send-retry", func() { attempt(next) })
 	}
 	attempt(backoff)
 }

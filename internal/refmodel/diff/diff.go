@@ -189,7 +189,7 @@ func runEngineHook(s *progen.Spec, tr *trace.Tracer, invariant bool) (*outcome, 
 	// numbers precede every exec event's, matching refmodel.ScheduleDMA.
 	for _, d := range s.DMA {
 		d := d
-		m.Engine().At(sim.Cycles(d.At), "dma", func() {
+		m.Shard(0).At(sim.Cycles(d.At), "dma", func() {
 			m.Mem().Write(d.Addr, d.Val, mem.SrcDMA)
 		})
 	}
@@ -198,7 +198,7 @@ func runEngineHook(s *progen.Spec, tr *trace.Tracer, invariant bool) (*outcome, 
 	// tie-breaking agrees between the two sides.
 	for _, f := range s.Faults {
 		f := f
-		m.Engine().At(sim.Cycles(f.At), "fault-wake", func() {
+		m.Shard(0).At(sim.Cycles(f.At), "fault-wake", func() {
 			c.InjectSpuriousWake(hwthread.PTID(f.PTID))
 		})
 	}

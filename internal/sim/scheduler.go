@@ -1,0 +1,469 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file is the redesigned scheduling surface (DESIGN.md §12). The raw
+// *Engine remains the per-shard event queue, but drivers now hold a
+// Scheduler — either a SerialScheduler (the oracle: one OS thread, shards
+// interleaved deterministically) or a ShardedScheduler (worker goroutines,
+// conservative-lookahead synchronization). Components hold a *Shard, which
+// embeds the shard's *Engine (so every existing scheduling method — At,
+// After, AtCallback, Cancel, BatchHorizon, AdvanceWithin, … — keeps working
+// unchanged) and adds the one genuinely new capability: a timestamped
+// cross-shard Send.
+//
+// Determinism argument, in brief. Virtual time advances in windows of
+// `lookahead` cycles. Within a window each shard executes only its own
+// events over only its own state, so shards commute and may run on any
+// worker in any real-time order. A cross-shard message sent at virtual time
+// τ carries delay ≥ lookahead, hence arrives at τ+delay ≥ windowStart +
+// lookahead — always in a strictly later window — and all in-flight
+// messages are delivered at the window barrier in a deterministic total
+// order: (arrival time, source shard, per-source sequence). Both scheduler
+// flavors execute the identical windowed protocol, so for the same inputs
+// every shard sees the identical event sequence at any worker count. That
+// is the property the shard-sweep determinism tests pin.
+
+// ShardID identifies one shard of a Scheduler. Shard 0 always exists.
+type ShardID int32
+
+// Scheduler drives a set of event-queue shards over shared virtual time.
+// It replaces the raw Engine.Run/RunUntil entry points as the surface
+// drivers program against; SerialScheduler and ShardedScheduler implement
+// it with identical observable behavior.
+type Scheduler interface {
+	// Shards returns the shard count (≥ 1).
+	Shards() int
+	// Shard returns the handle for shard id; components are constructed
+	// against the shard that owns their state.
+	Shard(id ShardID) *Shard
+	// Lookahead is the conservative synchronization horizon: the minimum
+	// virtual latency of any cross-shard interaction, and therefore how far
+	// one shard may run ahead of another.
+	Lookahead() Cycles
+	// Now returns the committed global time: the minimum shard clock. With
+	// one shard this is exactly the engine clock.
+	Now() Cycles
+	// Pending returns queued events across all shards, including in-flight
+	// cross-shard messages not yet delivered.
+	Pending() int
+	// Ran returns the number of events executed across all shards.
+	Ran() uint64
+	// Run drains every shard (limit <= 0). A positive limit is only
+	// meaningful — and only supported — on a single-shard scheduler, where
+	// it behaves exactly like Engine.Run.
+	Run(limit int) int
+	// RunUntil executes all events with timestamps <= deadline on every
+	// shard and leaves every shard clock at (at least) the deadline.
+	RunUntil(deadline Cycles) int
+}
+
+// Shard is a component's handle onto its home event queue. It embeds the
+// shard's *Engine, so the entire pre-existing scheduling API (At, After,
+// AtCallback, AfterCallback, Cancel, Cancelled, Now, Clock, NextEventAt,
+// BatchHorizon, AdvanceWithin, …) is available on a Shard unchanged and at
+// identical cost. What a Shard adds is identity (ID) and the only legal way
+// to affect another shard's state: Send.
+type Shard struct {
+	*Engine
+	id    ShardID
+	owner *windowed // nil for a solo shard (SoloShard)
+}
+
+// ID returns this shard's identity within its scheduler.
+func (s *Shard) ID() ShardID { return s.id }
+
+// Send schedules cb.OnEvent to run on shard `to` at Now()+delay. For a
+// remote shard the delay must be at least the scheduler's lookahead — that
+// minimum cross-shard latency is exactly what lets shards run ahead of each
+// other without ever reordering a delivery. Sends to the shard itself are
+// ordinary local scheduling and accept any non-negative delay.
+//
+// Cross-shard deliveries are globally ordered by (arrival time, sending
+// shard, per-sender sequence), so identical runs produce identical
+// interleavings regardless of worker count.
+func (s *Shard) Send(to ShardID, delay Cycles, name string, cb Callback) {
+	if to == s.id {
+		s.Engine.AfterCallback(delay, name, cb)
+		return
+	}
+	if s.owner == nil {
+		panic(fmt.Sprintf("sim: solo shard cannot Send to shard %d", to))
+	}
+	s.owner.send(s, to, delay, name, cb)
+}
+
+// SoloShard wraps a standalone Engine in a single-shard handle so code
+// migrated to the Shard API can still be driven by a bare engine (tests,
+// out-of-tree harnesses). Cross-shard Send panics; self-Send schedules
+// locally.
+func SoloShard(eng *Engine) *Shard {
+	return &Shard{Engine: eng, id: 0}
+}
+
+// xmsg is one in-flight cross-shard event. The (at, src, seq) triple is a
+// unique, deterministic total order over all messages.
+type xmsg struct {
+	at   Cycles
+	src  ShardID
+	seq  uint64
+	to   ShardID
+	name string
+	cb   Callback
+}
+
+func xmsgLess(a, b xmsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// windowed is the shared core of SerialScheduler and ShardedScheduler: the
+// conservative-lookahead window protocol. The two flavors differ only in
+// how runShards executes one window (sequentially vs. on a worker pool);
+// everything that determines the event order — window boundaries, message
+// delivery — is this single code path.
+type windowed struct {
+	shards  []*Shard
+	look    Cycles
+	workers int
+
+	// outbox[s] stages messages sent BY shard s during the current window;
+	// it is touched only by the worker running shard s (or the single
+	// driving thread outside windows), so no lock is needed. sendSeq[s]
+	// numbers shard s's sends for the deterministic delivery order.
+	outbox  [][]xmsg
+	sendSeq []uint64
+
+	// inflight holds collected, undelivered messages between windows. It is
+	// only touched by the driving thread at window barriers.
+	inflight []xmsg
+	due      []xmsg // delivery scratch, reused across barriers
+
+	// counts[s] is the event count of shard s's last window, written by the
+	// worker that ran the shard (disjoint indices) and summed at the
+	// barrier.
+	counts []int
+}
+
+func (w *windowed) init(shards int, lookahead Cycles, workers int) {
+	if shards < 1 {
+		shards = 1
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	w.look = lookahead
+	w.workers = workers
+	w.shards = make([]*Shard, shards)
+	w.outbox = make([][]xmsg, shards)
+	w.sendSeq = make([]uint64, shards)
+	w.counts = make([]int, shards)
+	for i := range w.shards {
+		w.shards[i] = &Shard{Engine: NewEngine(nil), id: ShardID(i), owner: w}
+	}
+}
+
+func (w *windowed) Shards() int       { return len(w.shards) }
+func (w *windowed) Lookahead() Cycles { return w.look }
+
+func (w *windowed) Shard(id ShardID) *Shard {
+	if int(id) < 0 || int(id) >= len(w.shards) {
+		return nil
+	}
+	return w.shards[id]
+}
+
+func (w *windowed) Now() Cycles {
+	now := w.shards[0].Engine.Now()
+	for _, s := range w.shards[1:] {
+		if t := s.Engine.Now(); t < now {
+			now = t
+		}
+	}
+	return now
+}
+
+func (w *windowed) Pending() int {
+	n := len(w.inflight)
+	for _, s := range w.shards {
+		n += s.Engine.Pending()
+	}
+	for _, ob := range w.outbox {
+		n += len(ob)
+	}
+	return n
+}
+
+func (w *windowed) Ran() uint64 {
+	var n uint64
+	for _, s := range w.shards {
+		n += s.Engine.Ran()
+	}
+	return n
+}
+
+func (w *windowed) send(from *Shard, to ShardID, delay Cycles, name string, cb Callback) {
+	if int(to) < 0 || int(to) >= len(w.shards) {
+		panic(fmt.Sprintf("sim: Send to unknown shard %d (have %d)", to, len(w.shards)))
+	}
+	if delay < w.look {
+		panic(fmt.Sprintf("sim: cross-shard send %q with delay %d below lookahead %d", name, delay, w.look))
+	}
+	s := from.id
+	w.outbox[s] = append(w.outbox[s], xmsg{
+		at:   from.Engine.Now() + delay,
+		src:  s,
+		seq:  w.sendSeq[s],
+		to:   to,
+		name: name,
+		cb:   cb,
+	})
+	w.sendSeq[s]++
+}
+
+// collect moves every shard's outbox into the in-flight set. Called at
+// window barriers and at run entry (construction-time sends from the
+// driving thread are staged in outboxes too).
+func (w *windowed) collect() {
+	for s := range w.outbox {
+		if len(w.outbox[s]) == 0 {
+			continue
+		}
+		w.inflight = append(w.inflight, w.outbox[s]...)
+		w.outbox[s] = w.outbox[s][:0]
+	}
+}
+
+// nextTime returns the earliest pending timestamp across all shard queues
+// and in-flight messages, or ok=false when everything is drained.
+func (w *windowed) nextTime() (Cycles, bool) {
+	next := Cycles(math.MaxInt64)
+	ok := false
+	for _, s := range w.shards {
+		if t, has := s.Engine.NextEventAt(); has && t < next {
+			next, ok = t, true
+		}
+	}
+	for i := range w.inflight {
+		if w.inflight[i].at < next {
+			next, ok = w.inflight[i].at, true
+		}
+	}
+	return next, ok
+}
+
+// deliver schedules every in-flight message with arrival <= winEnd onto its
+// target shard, in (arrival, source shard, source sequence) order — the
+// deterministic merge that makes delivery independent of worker timing.
+func (w *windowed) deliver(winEnd Cycles) {
+	w.due = w.due[:0]
+	kept := w.inflight[:0]
+	for _, m := range w.inflight {
+		if m.at <= winEnd {
+			w.due = append(w.due, m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	w.inflight = kept
+	if len(w.due) == 0 {
+		return
+	}
+	sort.Slice(w.due, func(i, j int) bool { return xmsgLess(w.due[i], w.due[j]) })
+	for _, m := range w.due {
+		w.shards[m.to].Engine.AtCallback(m.at, m.name, m.cb)
+	}
+}
+
+// advanceAll leaves every shard clock at (at least) deadline, mirroring
+// Engine.RunUntil's clock contract. No shard has an event at or before the
+// deadline when this is called.
+func (w *windowed) advanceAll(deadline Cycles) {
+	for _, s := range w.shards {
+		if s.Engine.Now() < deadline {
+			s.Engine.RunUntil(deadline)
+		}
+	}
+}
+
+func (w *windowed) anyTraced() bool {
+	for _, s := range w.shards {
+		if s.Engine.Traced() {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drains every shard. A positive limit is only supported with one
+// shard, where Run is exactly Engine.Run; a bounded event count has no
+// deterministic meaning across concurrently executing shards.
+func (w *windowed) Run(limit int) int {
+	if len(w.shards) == 1 {
+		return w.shards[0].Engine.Run(limit)
+	}
+	if limit > 0 {
+		panic("sim: Run(limit>0) is single-shard only; use RunUntil on a sharded scheduler")
+	}
+	return w.runWindows(0, false)
+}
+
+// RunUntil executes all events with timestamps <= deadline on every shard.
+func (w *windowed) RunUntil(deadline Cycles) int {
+	if len(w.shards) == 1 {
+		return w.shards[0].Engine.RunUntil(deadline)
+	}
+	return w.runWindows(deadline, true)
+}
+
+// runWindows is the windowed main loop shared by both schedulers.
+//
+// Each iteration: find the earliest pending timestamp anywhere (shard
+// queues AND undelivered messages — a shard must never advance past an
+// undelivered cross-shard event, which is what the time-zero regression
+// test pins), open the window [next, next+lookahead-1], deliver every
+// message due inside it, run all shards to the window end, then collect
+// the messages the window produced. Jumping to `next` rather than stepping
+// by fixed lookahead keeps sparse queues cheap without changing the event
+// order (no event or arrival exists in the skipped gap by construction).
+func (w *windowed) runWindows(deadline Cycles, bounded bool) int {
+	w.collect()
+	total := 0
+	var pool *workerPool
+	if w.workers > 1 && !w.anyTraced() {
+		pool = w.startPool()
+		defer pool.stop()
+	}
+	for {
+		next, ok := w.nextTime()
+		if !ok {
+			if bounded {
+				w.advanceAll(deadline)
+			}
+			return total
+		}
+		if bounded && next > deadline {
+			w.advanceAll(deadline)
+			return total
+		}
+		winEnd := next + w.look - 1
+		if bounded && winEnd > deadline {
+			winEnd = deadline
+		}
+		w.deliver(winEnd)
+		if pool != nil {
+			total += pool.run(winEnd)
+		} else {
+			for _, s := range w.shards {
+				total += s.Engine.RunUntil(winEnd)
+			}
+		}
+		w.collect()
+	}
+}
+
+// workerPool executes one window across a fixed worker set. Shards are
+// statically partitioned (contiguous ranges), so each shard's state —
+// including its outbox and count slot — is touched by exactly one
+// goroutine; the channel send and WaitGroup form the happens-before edges
+// that publish queue state to workers and results back to the barrier.
+type workerPool struct {
+	w    *windowed
+	cmds []chan Cycles
+	wg   sync.WaitGroup
+}
+
+func (w *windowed) startPool() *workerPool {
+	p := &workerPool{w: w}
+	nw := w.workers
+	for i := 0; i < nw; i++ {
+		lo := i * len(w.shards) / nw
+		hi := (i + 1) * len(w.shards) / nw
+		ch := make(chan Cycles, 1)
+		p.cmds = append(p.cmds, ch)
+		go func(lo, hi int, ch chan Cycles) {
+			for winEnd := range ch {
+				for s := lo; s < hi; s++ {
+					w.counts[s] = w.shards[s].Engine.RunUntil(winEnd)
+				}
+				p.wg.Done()
+			}
+		}(lo, hi, ch)
+	}
+	return p
+}
+
+func (p *workerPool) run(winEnd Cycles) int {
+	p.wg.Add(len(p.cmds))
+	for _, ch := range p.cmds {
+		ch <- winEnd
+	}
+	p.wg.Wait()
+	total := 0
+	for _, c := range p.w.counts {
+		total += c
+	}
+	return total
+}
+
+func (p *workerPool) stop() {
+	for _, ch := range p.cmds {
+		close(ch)
+	}
+}
+
+// SerialScheduler runs every shard on the driving OS thread, interleaved by
+// the windowed protocol. It is the determinism oracle: a ShardedScheduler
+// with the same shard count and lookahead must be byte-identical to it, and
+// with one shard it is exactly the classic single-threaded engine loop.
+type SerialScheduler struct {
+	windowed
+}
+
+// NewSerialScheduler builds a serial scheduler with the given shard count
+// and lookahead (both clamped to at least 1).
+func NewSerialScheduler(shards int, lookahead Cycles) *SerialScheduler {
+	s := &SerialScheduler{}
+	s.init(shards, lookahead, 1)
+	return s
+}
+
+// ShardedScheduler runs shards on a pool of worker goroutines under
+// conservative-lookahead synchronization. Worker count is clamped to the
+// shard count; a traced run falls back to serial window execution (the
+// tracer is single-threaded), preserving output byte-for-byte either way.
+type ShardedScheduler struct {
+	windowed
+}
+
+// NewShardedScheduler builds a parallel scheduler: `shards` event queues
+// executed by `workers` goroutines per window.
+func NewShardedScheduler(shards int, lookahead Cycles, workers int) *ShardedScheduler {
+	s := &ShardedScheduler{}
+	s.init(shards, lookahead, workers)
+	return s
+}
+
+// Workers returns the effective worker count.
+func (s *ShardedScheduler) Workers() int { return s.workers }
+
+var (
+	_ Scheduler = (*SerialScheduler)(nil)
+	_ Scheduler = (*ShardedScheduler)(nil)
+)

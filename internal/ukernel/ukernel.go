@@ -90,7 +90,7 @@ func NewMailboxService(k *kernel.Nocs, name string, base int64, slots int, work 
 				s.calls++
 				// The reply lands once the service has actually done the
 				// work (wake time + everything processed ahead of it).
-				c.Engine().After(cost, "ipc-reply", func() {
+				c.Shard().After(cost, "ipc-reply", func() {
 					c.WriteWord(sb+slotRet, ret)
 					c.WriteWord(sb+slotStatus, StatusDone) // reply doorbell
 				})

@@ -4,20 +4,26 @@
 # 1. Proves determinism: `nocsim -all` (serial AND -parallel 8) must be
 #    byte-identical to the committed golden results_full.txt.
 # 2. Times `nocsim -all` wall clock.
-# 3. Runs the repository testing.B benchmarks with -benchmem.
-# 4. Emits BENCH_1.json: per-experiment ns/op, B/op, allocs/op (plus
+# 3. Runs the S1 scaling experiment (64 simulated cores, sharded scheduler
+#    across the host's CPUs) and records parallel_speedup: sharded wall
+#    clock vs the serial oracle at equal seeds and byte-identical output.
+#    The speedup is bounded by the host's real CPU count (GOMAXPROCS).
+# 4. Runs the repository testing.B benchmarks with -benchmem.
+# 5. Emits BENCH_3.json: per-experiment ns/op, B/op, allocs/op (plus
 #    sim-instrs/op and sim-instrs/sec where a benchmark reports them), the
-#    wall times, and the headline instructions_per_sec figure (sustained
-#    simulated-instruction rate from CoreInstructionRate), so the next
-#    hot-path PR starts from numbers, not guesses.
+#    wall times, the headline instructions_per_sec figure (sustained
+#    simulated-instruction rate from CoreInstructionRate), and the
+#    parallel_speedup block, so the next hot-path PR starts from numbers,
+#    not guesses.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x (default) controls -benchtime; set e.g. BENCHTIME=2s for
-#   steadier numbers on a quiet machine.
+#   steadier numbers on a quiet machine. SCALE_WORKERS (default: all CPUs)
+#   sets the sharded run's worker count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_1.json}
+OUT=${1:-BENCH_3.json}
 BENCHTIME=${BENCHTIME:-1x}
 GOLDEN=results_full.txt
 TMP=$(mktemp -d)
@@ -52,11 +58,31 @@ if ! cmp -s "$GOLDEN" "$TMP/all_par.txt"; then
 fi
 echo "   -parallel 8: identical, ${wall_par_ms} ms"
 
+echo "== S1 scaling: sharded scheduler vs serial oracle =="
+SCALE_ARGS=(-scale)
+if [ -n "${SCALE_WORKERS:-}" ]; then
+    SCALE_ARGS+=(-workers "$SCALE_WORKERS")
+fi
+"$TMP/nocsim" "${SCALE_ARGS[@]}" | tee "$TMP/scale.txt"
+scale_stats=$(grep '^S1 stats:' "$TMP/scale.txt")
+scale_field() { echo "$scale_stats" | tr ' ' '\n' | awk -F= -v k="$1" '$1==k {print $2}'; }
+speedup=$(scale_field speedup)
+scale_workers=$(scale_field workers)
+scale_shards=$(scale_field shards)
+scale_cores=$(scale_field cores)
+scale_serial_ms=$(scale_field serial_ms)
+scale_parallel_ms=$(scale_field parallel_ms)
+scale_ips=$(scale_field instrs_per_sec)
+
 echo "== benchmarks (-benchmem -benchtime $BENCHTIME) =="
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$TMP/bench.txt"
 
 echo "== writing $OUT =="
-awk -v wall_ms="$wall_ms" -v wall_par_ms="$wall_par_ms" '
+awk -v wall_ms="$wall_ms" -v wall_par_ms="$wall_par_ms" \
+    -v speedup="$speedup" -v scale_workers="$scale_workers" \
+    -v scale_shards="$scale_shards" -v scale_cores="$scale_cores" \
+    -v scale_serial_ms="$scale_serial_ms" -v scale_parallel_ms="$scale_parallel_ms" \
+    -v scale_ips="$scale_ips" '
 BEGIN { n = 0; ips = "" }
 /^Benchmark/ && /ns\/op/ {
     name = $1
@@ -80,6 +106,14 @@ END {
     printf "  \"nocsim_all_parallel8_wall_ms\": %d,\n", wall_par_ms
     printf "  \"golden_diff\": \"identical\",\n"
     printf "  \"instructions_per_sec\": %s,\n", ips == "" ? "null" : ips
+    printf "  \"parallel_speedup\": %s,\n", speedup == "" ? "null" : speedup
+    printf "  \"scale\": {\"cores\": %s, \"shards\": %s, \"workers\": %s, \"serial_wall_ms\": %s, \"parallel_wall_ms\": %s, \"sim_instrs_per_sec\": %s, \"output\": \"byte-identical\"},\n", \
+        scale_cores == "" ? "null" : scale_cores, \
+        scale_shards == "" ? "null" : scale_shards, \
+        scale_workers == "" ? "null" : scale_workers, \
+        scale_serial_ms == "" ? "null" : scale_serial_ms, \
+        scale_parallel_ms == "" ? "null" : scale_parallel_ms, \
+        scale_ips == "" ? "null" : scale_ips
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \

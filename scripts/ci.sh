@@ -19,7 +19,11 @@
 #                        stay within 10% of scripts/alloc_baseline.txt (the
 #                        zero-alloc hot paths must not silently regrow heap
 #                        traffic)
-#  10. golden diff     — `nocsim -all` must be byte-identical to the
+#  10. sharded golden  — a small `nocsim -scale -quick` run; RunScale fails
+#                        internally unless the sharded scheduler's output is
+#                        byte-identical to the serial oracle, so scheduler
+#                        regressions fail fast here
+#  11. golden diff     — `nocsim -all` must be byte-identical to the
 #                        committed results_full.txt (skip with SKIP_GOLDEN=1
 #                        when the caller performs its own golden run)
 #
@@ -83,9 +87,12 @@ awk '
     }
 ' scripts/alloc_baseline.txt "$TMP/allocgate.txt"
 
+echo "== sharded golden: nocsim -scale -quick (serial vs sharded byte-identity) =="
+go build -o "$TMP/nocsim" ./cmd/nocsim
+"$TMP/nocsim" -scale -quick -shards 4 -workers 4 | grep '^S1 stats:'
+
 if [ "${SKIP_GOLDEN:-0}" != "1" ]; then
     echo "== determinism: nocsim -all vs results_full.txt =="
-    go build -o "$TMP/nocsim" ./cmd/nocsim
     "$TMP/nocsim" -all > "$TMP/all.txt"
     if ! diff -u results_full.txt "$TMP/all.txt" > "$TMP/diff.txt"; then
         echo "FAIL: nocsim -all output differs from committed golden:" >&2
