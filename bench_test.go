@@ -10,9 +10,11 @@
 package nocs_test
 
 import (
+	"bytes"
 	"testing"
 
 	"nocs/internal/bench"
+	"nocs/internal/machine"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -59,4 +61,56 @@ func BenchmarkA4_StatePinning(b *testing.B)         { runExperiment(b, "A4") }
 // bounds how big an experiment the harness can afford.
 func BenchmarkCoreInstructionRate(b *testing.B) {
 	benchmarkInstructionRate(b)
+}
+
+// snapshotBenchMachine builds a warmed-up sharded endurance machine plus one
+// serialized checkpoint of it, the fixture both snapshot benchmarks share.
+func snapshotBenchMachine(b *testing.B) (*machine.Machine, []byte) {
+	b.Helper()
+	cfg := bench.RunConfig{Seed: 1}
+	ec := bench.EnduranceConfig{Cores: 4, Shards: 4, Workers: 1, Horizon: 60_000}
+	m, err := bench.BuildEndurance(cfg, ec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.RunUntil(30_000)
+	var buf bytes.Buffer
+	if err := m.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+// BenchmarkSnapshotEncode measures checkpoint serialization throughput on a
+// warmed-up sharded machine: MB/s is the reported bytes-per-second, ns/op is
+// the cost of one checkpoint (scripts/bench.sh records both in BENCH_4.json).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	m, ckpt := snapshotBenchMachine(b)
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(ckpt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := m.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore measures the inverse path: decoding a checkpoint
+// and rebuilding full machine state into an existing same-topology machine.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	_, ckpt := snapshotBenchMachine(b)
+	tgt, err := bench.BuildEndurance(bench.RunConfig{Seed: 1},
+		bench.EnduranceConfig{Cores: 4, Shards: 4, Workers: 1, Horizon: 60_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(ckpt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tgt.Restore(bytes.NewReader(ckpt)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -14,6 +14,9 @@
 //	nocsim -exp F1 -trace f1.json       # cycle trace, open at ui.perfetto.dev
 //	nocsim -scale             # S1: one 64-core machine across real CPUs
 //	nocsim -scale -cores 256 -workers 8 # bigger machine, explicit workers
+//	nocsim -endurance -checkpoint-every 100000 -checkpoint run.ckpt
+//	                          # E1 endurance run, periodic machine checkpoints
+//	nocsim -endurance -resume run.ckpt  # warm-start from the last checkpoint
 //
 // Two parallelism axes, one rule (DESIGN.md §12): `-parallel` runs
 // independent experiments/sweep points concurrently (coarse, zero
@@ -34,6 +37,7 @@ import (
 	"nocs/internal/bench"
 	"nocs/internal/faultinject"
 	"nocs/internal/sim"
+	"nocs/internal/snapshot"
 	"nocs/internal/trace"
 )
 
@@ -51,6 +55,11 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev); forces -parallel 1")
 		faults     = flag.String("faults", "", `fault-injection plan for fault-aware experiments (F2, F16): "default" arms the standard seeded plan, "" runs fault-free`)
 		scale      = flag.Bool("scale", false, "run S1, the sharded-scheduler scaling experiment: one many-core machine executed serially, then across -workers real CPUs, with a byte-identity check between the two")
+		endurance  = flag.Bool("endurance", false, "run E1, the checkpointed endurance workload: a snapshot-complete token-ring machine whose full state can be serialized mid-run (-checkpoint-every) and warm-started later (-resume)")
+		horizon    = flag.Int64("horizon", 0, "simulated cycles for -endurance (default 400000, or 100000 with -quick)")
+		ckptEvery  = flag.Int64("checkpoint-every", 0, "serialize a machine checkpoint every N simulated cycles during -endurance (0 disables)")
+		ckptFile   = flag.String("checkpoint", "nocs.ckpt", "checkpoint file -checkpoint-every overwrites (atomically) and -resume reads")
+		resume     = flag.String("resume", "", "warm-start -endurance from this checkpoint file instead of cold boot; the run continues to -horizon and must reproduce the straight-through hash")
 		cores      = flag.Int("cores", 0, "simulated core count for -scale (default 64, or 16 with -quick)")
 		workers    = flag.Int("workers", 0, "worker goroutines driving one sharded machine (-scale), clamped to GOMAXPROCS; 0 means GOMAXPROCS")
 		shards     = flag.Int("shards", 0, "event-queue shards for -scale (default one per simulated core)")
@@ -74,6 +83,65 @@ func main() {
 			e, _ := bench.Get(id)
 			fmt.Printf("%-4s %s\n", id, e.Title)
 		}
+		return
+	}
+
+	if *endurance {
+		ec := bench.DefaultEnduranceConfig(*quick)
+		if *cores > 0 {
+			ec.Cores = *cores
+		}
+		if *shards > 0 {
+			ec.Shards = *shards
+		}
+		if *workers > 0 {
+			ec.Workers = *workers
+		}
+		if *horizon > 0 {
+			ec.Horizon = sim.Cycles(*horizon)
+		}
+		if max := runtime.GOMAXPROCS(0); ec.Workers > max {
+			ec.Workers = max
+		}
+		cfg := bench.RunConfig{Seed: *seed, Quick: *quick}
+		if *resume != "" {
+			data, err := os.ReadFile(*resume)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+				os.Exit(1)
+			}
+			snap, err := snapshot.Decode(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "resume: %s: %v\n", *resume, err)
+				os.Exit(1)
+			}
+			cfg.FromSnapshot = snap
+		}
+		var sink func(at sim.Cycles, ckpt []byte) error
+		if *ckptEvery > 0 {
+			sink = func(at sim.Cycles, ckpt []byte) error {
+				// Write-then-rename so a crash mid-write never truncates the
+				// previous good checkpoint.
+				tmp := *ckptFile + ".tmp"
+				if err := os.WriteFile(tmp, ckpt, 0o644); err != nil {
+					return err
+				}
+				if err := os.Rename(tmp, *ckptFile); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "checkpoint: cycle %d -> %s (%d bytes)\n", at, *ckptFile, len(ckpt))
+				return nil
+			}
+		}
+		sum, stats, err := bench.RunEndurance(cfg, ec, sim.Cycles(*ckptEvery), sink)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "endurance: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(sum)
+		fmt.Printf("E1 stats: cores=%d shards=%d workers=%d horizon=%d checkpoints=%d ckpt_bytes=%d resumed=%v hash=%016x\n",
+			stats.Cores, stats.Shards, stats.Workers, stats.Horizon,
+			stats.Checkpoints, stats.CheckpointBytes, stats.Resumed, stats.Hash)
 		return
 	}
 

@@ -14,6 +14,7 @@ import (
 	"nocs/internal/faultinject"
 	"nocs/internal/machine"
 	"nocs/internal/metrics"
+	"nocs/internal/snapshot"
 	"nocs/internal/trace"
 )
 
@@ -38,6 +39,15 @@ type RunConfig struct {
 	// (F2's mwait path, F16). nil keeps every machine fault-free and every
 	// table byte-identical to the plain run.
 	Faults *faultinject.Plan
+	// FromSnapshot, when non-nil, warm-starts machines from this decoded
+	// checkpoint (DESIGN.md §13) instead of a cold boot: sweeps fork one
+	// warmed-up machine across parameter points rather than re-warming per
+	// point. Builders apply it by calling WarmStart AFTER construction is
+	// complete (binding programs, booting threads, scheduling injections),
+	// because restore replaces every cold-boot event with the checkpoint's.
+	// The construction must rebuild the topology the checkpoint was taken
+	// on (cores, shards, threads, devices, attached components).
+	FromSnapshot *snapshot.Snapshot
 }
 
 // NewMachine builds an experiment machine, threading the config's fault
@@ -52,6 +62,21 @@ func (cfg RunConfig) NewMachine(opts ...machine.Option) *machine.Machine {
 		opts = append(opts, machine.WithTracer(cfg.Tracer))
 	}
 	return machine.New(opts...)
+}
+
+// WarmStart finalizes a fully constructed machine: when cfg.FromSnapshot is
+// set, m restores from it — fast-forwarding to the checkpoint's cycle and
+// discarding the cold-boot events scheduled during construction — and the
+// caller continues from there. A nil FromSnapshot is a no-op, so builders
+// can call this unconditionally as their last step.
+func (cfg RunConfig) WarmStart(m *machine.Machine) error {
+	if cfg.FromSnapshot == nil {
+		return nil
+	}
+	if err := m.RestoreFrom(cfg.FromSnapshot); err != nil {
+		return fmt.Errorf("bench: warm start from snapshot: %w", err)
+	}
+	return nil
 }
 
 // DefaultConfig is the reproduction configuration used by the CLI.

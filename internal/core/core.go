@@ -181,9 +181,13 @@ type Core struct {
 	// the state store reach it through the core.
 	inj *faultinject.Injector
 
-	fatal   error
-	retired uint64
-	starts  uint64
+	fatal error
+	// fatalPTID/fatalFault keep the structured form of the first fatal fault
+	// so checkpoints (and state-based harnesses) can reproduce it exactly.
+	fatalPTID  hwthread.PTID
+	fatalFault *hwthread.Fault
+	retired    uint64
+	starts     uint64
 }
 
 // waiter adapts one ptid to the monitor engine.
@@ -508,10 +512,20 @@ func (c *Core) InjectDelay(p hwthread.PTID, d sim.Cycles) {
 func (c *Core) SetFatal(p hwthread.PTID, f *hwthread.Fault) {
 	if c.fatal == nil {
 		c.fatal = fmt.Errorf("core %d: %w", c.id, f)
+		c.fatalPTID = p
+		c.fatalFault = f
 	}
 	if c.OnFatal != nil {
 		c.OnFatal(p, f)
 	}
+}
+
+// FatalInfo returns the structured form of the first fatal fault: the ptid
+// that raised it and the fault itself (nil while healthy). State-based
+// harnesses use this instead of an OnFatal callback, which a restored run
+// cannot replay.
+func (c *Core) FatalInfo() (hwthread.PTID, *hwthread.Fault) {
+	return c.fatalPTID, c.fatalFault
 }
 
 // raise runs the §3.1 exception path on t and handles the no-handler case.
@@ -569,6 +583,16 @@ func (c *Core) WaitArmed(t *hwthread.Context) bool {
 func (c *Core) ArmAndWait(t *hwthread.Context, addrs ...int64) bool {
 	c.ArmWatches(t, addrs...)
 	return c.WaitArmed(t)
+}
+
+// MonitorWaiter returns the monitor.Waiter identity of ptid p (nil if out of
+// range). The checkpoint layer uses it to translate waiter references in the
+// monitor's state to stable (core, ptid) ids and back.
+func (c *Core) MonitorWaiter(p hwthread.PTID) monitor.Waiter {
+	if p < 0 || int(p) >= len(c.waiters) {
+		return nil
+	}
+	return c.waiters[p]
 }
 
 // InjectSpuriousWake delivers a spurious monitor wakeup to ptid p if it is

@@ -139,8 +139,54 @@ type NIC struct {
 	// OnTransmit, if set, observes each transmitted payload (the "wire").
 	OnTransmit func(payload []int64)
 
+	// rx and tx track in-flight DMA operations so they remain checkpointable
+	// (DESIGN.md §13).
+	rx []*nicRX
+	tx []*nicTX
+
 	// inj injects delayed/reordered/dropped DMA completions (nil = off).
 	inj *faultinject.Injector
+}
+
+// nicRX is one in-flight packet arrival: after the DMA latency it writes the
+// payload, descriptor, and RX tail (doorbell-last).
+type nicRX struct {
+	n       *NIC
+	h       sim.Handle
+	payload []int64
+}
+
+// OnEvent lands the packet in the RX ring.
+func (rx *nicRX) OnEvent() {
+	n := rx.n
+	for i, q := range n.rx {
+		if q == rx {
+			n.rx = append(n.rx[:i], n.rx[i+1:]...)
+			break
+		}
+	}
+	n.landRX(rx.payload)
+}
+
+// nicTX is one in-flight transmit: after the wire latency it marks the
+// descriptor done and advances the completion counter.
+type nicTX struct {
+	n    *NIC
+	h    sim.Handle
+	slot int64
+	seq  int64
+}
+
+// OnEvent completes the transmit.
+func (tx *nicTX) OnEvent() {
+	n := tx.n
+	for i, q := range n.tx {
+		if q == tx {
+			n.tx = append(n.tx[:i], n.tx[i+1:]...)
+			break
+		}
+	}
+	n.completeTX(tx.slot, tx.seq)
 }
 
 // SetFaultInjector arms DMA-completion fault injection (machine wiring).
@@ -178,28 +224,34 @@ func (n *NIC) Deliver(payload []int64) sim.Cycles {
 		d += extra
 	}
 	at := n.eng.Now() + d
-	n.eng.After(d, "nic-rx", func() {
-		tail := n.dma.Read(n.cfg.TailAddr)
-		if n.cfg.HeadAddr != 0 {
-			head := n.dma.Read(n.cfg.HeadAddr)
-			if tail-head >= int64(n.cfg.RingEntries) {
-				n.dropped++
-				return
-			}
-		}
-		slot := tail % int64(n.cfg.RingEntries)
-		bufAddr := n.cfg.BufBase + slot*n.cfg.BufStride
-		n.dma.WriteBytesAsWords(bufAddr, payload)
-		desc := n.cfg.RingBase + slot*rxDescBytes
-		n.dma.Write(desc+rxDescBuf, bufAddr)
-		n.dma.Write(desc+rxDescLen, int64(len(payload)))
-		n.dma.Write(desc+rxDescReady, 1)
-		// Tail last: a monitor wake on the tail sees a complete descriptor.
-		n.dma.Write(n.cfg.TailAddr, tail+1)
-		n.delivered++
-		n.sig.raise()
-	})
+	rx := &nicRX{n: n, payload: payload}
+	rx.h = n.eng.AfterCallback(d, "nic-rx", rx)
+	n.rx = append(n.rx, rx)
 	return at
+}
+
+// landRX writes one arrived packet into the RX ring: payload, descriptor,
+// then the tail (doorbell-last, so a monitor wake sees a complete
+// descriptor).
+func (n *NIC) landRX(payload []int64) {
+	tail := n.dma.Read(n.cfg.TailAddr)
+	if n.cfg.HeadAddr != 0 {
+		head := n.dma.Read(n.cfg.HeadAddr)
+		if tail-head >= int64(n.cfg.RingEntries) {
+			n.dropped++
+			return
+		}
+	}
+	slot := tail % int64(n.cfg.RingEntries)
+	bufAddr := n.cfg.BufBase + slot*n.cfg.BufStride
+	n.dma.WriteBytesAsWords(bufAddr, payload)
+	desc := n.cfg.RingBase + slot*rxDescBytes
+	n.dma.Write(desc+rxDescBuf, bufAddr)
+	n.dma.Write(desc+rxDescLen, int64(len(payload)))
+	n.dma.Write(desc+rxDescReady, 1)
+	n.dma.Write(n.cfg.TailAddr, tail+1)
+	n.delivered++
+	n.sig.raise()
 }
 
 // ReadDesc decodes RX descriptor slot i (test and driver helper).
@@ -245,30 +297,36 @@ func (n *NIC) MMIOWrite(addr int64, val int64) {
 		if extra, _ := n.inj.DMADelivery("nic-tx"); extra > 0 {
 			lat += extra
 		}
-		n.eng.After(lat, "nic-tx", func() {
-			desc := n.cfg.TXRingBase + slot*txDescBytes
-			if n.OnTransmit != nil {
-				buf := n.dma.Read(desc + txDescBuf)
-				length := n.dma.Read(desc + txDescLen)
-				payload := make([]int64, length)
-				for i := range payload {
-					payload[i] = n.dma.Read(buf + int64(i*8))
-				}
-				n.OnTransmit(payload)
-			}
-			n.dma.Write(desc+txDescDone, 1)
-			if n.cfg.TXCompAddr != 0 {
-				if n.inj != nil && n.dma.Read(n.cfg.TXCompAddr) > seq {
-					// A reordered (delayed) completion must not walk the
-					// monotonic completion counter backwards.
-				} else {
-					n.dma.Write(n.cfg.TXCompAddr, seq)
-				}
-			}
-			n.transmitted++
-			n.sig.raise()
-		})
+		tx := &nicTX{n: n, slot: slot, seq: seq}
+		tx.h = n.eng.AfterCallback(lat, "nic-tx", tx)
+		n.tx = append(n.tx, tx)
 	}
+}
+
+// completeTX finishes one transmit: hands the payload to the wire observer,
+// marks the descriptor done, and advances the completion counter.
+func (n *NIC) completeTX(slot, seq int64) {
+	desc := n.cfg.TXRingBase + slot*txDescBytes
+	if n.OnTransmit != nil {
+		buf := n.dma.Read(desc + txDescBuf)
+		length := n.dma.Read(desc + txDescLen)
+		payload := make([]int64, length)
+		for i := range payload {
+			payload[i] = n.dma.Read(buf + int64(i*8))
+		}
+		n.OnTransmit(payload)
+	}
+	n.dma.Write(desc+txDescDone, 1)
+	if n.cfg.TXCompAddr != 0 {
+		if n.inj != nil && n.dma.Read(n.cfg.TXCompAddr) > seq {
+			// A reordered (delayed) completion must not walk the
+			// monotonic completion counter backwards.
+		} else {
+			n.dma.Write(n.cfg.TXCompAddr, seq)
+		}
+	}
+	n.transmitted++
+	n.sig.raise()
 }
 
 // WriteTXDesc fills TX descriptor slot i (driver helper).

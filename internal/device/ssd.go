@@ -84,8 +84,33 @@ type SSD struct {
 	completed uint64
 	inFlight  int
 
+	// ops tracks in-flight command completions so they remain checkpointable
+	// (DESIGN.md §13).
+	ops []*ssdDone
+
 	// inj injects delayed/reordered/dropped completions (nil = off).
 	inj *faultinject.Injector
+}
+
+// ssdDone is one in-flight command completion.
+type ssdDone struct {
+	s    *SSD
+	h    sim.Handle
+	op   int64
+	cid  int64
+	slot int64 // completion slot (submission order)
+}
+
+// OnEvent writes the CQE and advances the monotonic CQ tail.
+func (d *ssdDone) OnEvent() {
+	s := d.s
+	for i, q := range s.ops {
+		if q == d {
+			s.ops = append(s.ops[:i], s.ops[i+1:]...)
+			break
+		}
+	}
+	s.complete(d.op, d.cid, d.slot)
 }
 
 // SetFaultInjector arms completion fault injection (machine wiring).
@@ -170,22 +195,27 @@ func (s *SSD) consume() {
 			lat += extra
 		}
 		completionSlot := s.sqHead - 1 // preserves submission order slots
-		s.eng.After(lat, "ssd-done", func() {
-			status := int64(0)
-			if op != OpRead && op != OpWrite {
-				status = 1
-			}
-			cq := s.cfg.CQBase + (completionSlot%int64(s.cfg.Entries))*cqeBytes
-			s.dma.Write(cq+cqeCID, cid)
-			s.dma.Write(cq+cqeStatus, status)
-			s.dma.Write(cq+cqeReady, 1)
-			// Tail last (doorbell ordering).
-			s.dma.Write(s.cfg.CQTailAddr, s.dma.Read(s.cfg.CQTailAddr)+1)
-			s.completed++
-			s.inFlight--
-			s.sig.raise()
-		})
+		d := &ssdDone{s: s, op: op, cid: cid, slot: completionSlot}
+		d.h = s.eng.AfterCallback(lat, "ssd-done", d)
+		s.ops = append(s.ops, d)
 	}
+}
+
+// complete writes one CQE and advances the monotonic CQ tail (doorbell
+// ordering: tail last).
+func (s *SSD) complete(op, cid, completionSlot int64) {
+	status := int64(0)
+	if op != OpRead && op != OpWrite {
+		status = 1
+	}
+	cq := s.cfg.CQBase + (completionSlot%int64(s.cfg.Entries))*cqeBytes
+	s.dma.Write(cq+cqeCID, cid)
+	s.dma.Write(cq+cqeStatus, status)
+	s.dma.Write(cq+cqeReady, 1)
+	s.dma.Write(s.cfg.CQTailAddr, s.dma.Read(s.cfg.CQTailAddr)+1)
+	s.completed++
+	s.inFlight--
+	s.sig.raise()
 }
 
 // WriteSQE is a driver helper: fill submission slot for command n.

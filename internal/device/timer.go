@@ -31,8 +31,33 @@ type Timer struct {
 	ticks   uint64
 	ev      sim.Handle
 
+	// msis tracks in-flight delayed/redelivered MSI counter writes so they
+	// remain checkpointable (DESIGN.md §13).
+	msis []*timerMSI
+
 	// inj injects delayed/dropped MSI counter writes (nil = off).
 	inj *faultinject.Injector
+}
+
+// timerMSI is one delayed (or dropped-and-redelivered) MSI counter write in
+// flight. The counter value is read at fire time, so an MSI overtaken by a
+// later tick collapses into one monotonic write.
+type timerMSI struct {
+	t *Timer
+	h sim.Handle
+}
+
+// OnEvent delivers the deferred MSI write.
+func (m *timerMSI) OnEvent() {
+	t := m.t
+	for i, q := range t.msis {
+		if q == m {
+			t.msis = append(t.msis[:i], t.msis[i+1:]...)
+			break
+		}
+	}
+	t.dma.Write(t.cfg.CounterAddr, int64(t.ticks))
+	t.sig.raise()
 }
 
 // SetFaultInjector arms MSI-delivery fault injection (machine wiring).
@@ -117,10 +142,9 @@ func (t *Timer) tick() {
 	// is read at fire time, so an MSI overtaken by a later tick collapses
 	// into one monotonic write — a coalesced interrupt, never a lost one.
 	if extra, drop := t.inj.DMADelivery("msi"); drop || extra > 0 {
-		t.eng.After(extra, "fault-msi", func() {
-			t.dma.Write(t.cfg.CounterAddr, int64(t.ticks))
-			t.sig.raise()
-		})
+		m := &timerMSI{t: t}
+		m.h = t.eng.AfterCallback(extra, "fault-msi", m)
+		t.msis = append(t.msis, m)
 		return
 	}
 	t.dma.Write(t.cfg.CounterAddr, int64(t.ticks))

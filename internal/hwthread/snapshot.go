@@ -1,0 +1,91 @@
+package hwthread
+
+import (
+	"fmt"
+	"sort"
+
+	"nocs/internal/isa"
+	"nocs/internal/sim"
+	"nocs/internal/snapshot"
+)
+
+// Checkpoint support (DESIGN.md §13). A context serializes its full
+// architectural state: registers, run state, priority, the hardware TDT
+// translation cache (stale cached rows are an architecturally required
+// behavior — §3.1 — so they must survive a checkpoint), and the per-thread
+// statistics. Program bindings are recorded as an opaque program id assigned
+// by the machine layer, which owns the program registry; trace track ids are
+// reset on restore (traces re-base, DESIGN.md §13).
+
+// SnapshotState writes the context's architectural state. progID identifies
+// the bound program in the machine's program table (-1 = no program bound).
+func (c *Context) SnapshotState(w *snapshot.W, progID int64) {
+	w.U8(uint8(c.State))
+	for _, v := range c.Regs.GPR {
+		w.I64(v)
+	}
+	for _, v := range c.Regs.FPR {
+		w.F64(v)
+	}
+	w.I64(c.Regs.PC).I64(c.Regs.Mode).I64(c.Regs.EDP).I64(c.Regs.TDT)
+	w.Bool(c.Regs.FPDirty)
+	w.I64(int64(c.Priority))
+	w.I64(progID)
+
+	vtids := make([]int64, 0, len(c.tdtCache))
+	for v := range c.tdtCache {
+		vtids = append(vtids, int64(v))
+	}
+	sort.Slice(vtids, func(i, j int) bool { return vtids[i] < vtids[j] })
+	w.Len(len(vtids))
+	for _, v := range vtids {
+		e := c.tdtCache[VTID(v)]
+		w.I64(v).I64(int64(e.PTID)).U8(uint8(e.Perm))
+	}
+
+	w.U64(c.Starts).U64(c.Stops).U64(c.Wakeups).U64(c.Retired)
+	w.I64(int64(c.LastStarted)).I64(int64(c.LastHalt))
+}
+
+// RestoreState replaces the context's architectural state with the
+// checkpoint's and returns the bound program id for the machine layer to
+// resolve. The trace track is reset (restored runs re-base their traces).
+func (c *Context) RestoreState(r *snapshot.R) (progID int64, err error) {
+	state := State(r.U8())
+	var regs isa.RegFile
+	for i := range regs.GPR {
+		regs.GPR[i] = r.I64()
+	}
+	for i := range regs.FPR {
+		regs.FPR[i] = r.F64()
+	}
+	regs.PC, regs.Mode, regs.EDP, regs.TDT = r.I64(), r.I64(), r.I64(), r.I64()
+	regs.FPDirty = r.Bool()
+	prio := r.I64()
+	progID = r.I64()
+
+	n := r.Len(17)
+	cache := make(map[VTID]Entry, n)
+	for i := 0; i < n; i++ {
+		v := VTID(r.I64())
+		cache[v] = Entry{PTID: PTID(r.I64()), Perm: Perm(r.U8())}
+	}
+
+	starts, stops, wakeups, retired := r.U64(), r.U64(), r.U64(), r.U64()
+	lastStarted, lastHalt := sim.Cycles(r.I64()), sim.Cycles(r.I64())
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if state > Waiting {
+		return 0, fmt.Errorf("hwthread: ptid %d snapshot has invalid state %d", c.PTID, state)
+	}
+
+	c.State = state
+	c.Regs = regs
+	c.Priority = int(prio)
+	c.Track = 0
+	c.tdtCache = cache
+	c.Starts, c.Stops, c.Wakeups, c.Retired = starts, stops, wakeups, retired
+	c.LastStarted, c.LastHalt = lastStarted, lastHalt
+	return progID, nil
+}

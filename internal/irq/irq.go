@@ -93,6 +93,57 @@ type vecTrace struct {
 	name  string
 }
 
+// delivery is one raised-but-not-yet-serviced interrupt: the event body
+// between Raise and handler execution. A delivery blocked by a busy IRQ
+// context re-queues itself at the context's free time. Keeping deliveries as
+// tracked structs (not closures) is what makes in-flight interrupts
+// checkpointable (DESIGN.md §13); the trace flow is live-run-only state and
+// is dropped across a restore (traces re-base).
+type delivery struct {
+	c      *Controller
+	h      sim.Handle
+	v      Vector
+	e      idtEntry
+	key    victimKey
+	pend   bool // re-queued behind a busy IRQ context
+	traced bool
+	flow   trace.FlowID
+	vt     vecTrace
+}
+
+// OnEvent delivers the interrupt, or re-queues if the IRQ context is busy.
+func (d *delivery) OnEvent() {
+	c := d.c
+	if bu := c.busyUntil[d.key]; bu > c.eng.Now() {
+		// A previous handler still occupies the IRQ context.
+		d.pend = true
+		d.h = c.eng.AtCallback(bu, fmt.Sprintf("irq%d-pend", d.v), d)
+		return
+	}
+	c.unlink(d)
+	// Wake the core if it is idle, then steal entry+handler+exit from
+	// whatever was running.
+	d.e.core.WakeFromHalt(d.e.victim)
+	start := c.eng.Now()
+	cost := c.costs.Entry + d.e.handler(d.v, start) + c.costs.Exit
+	c.busyUntil[d.key] = start + cost
+	d.e.core.InjectDelay(d.e.victim, cost)
+	c.delivered++
+	if d.traced && c.tr != nil {
+		c.tr.Complete(d.vt.track, d.vt.name, int64(start), int64(cost))
+		c.tr.FlowEnd(d.vt.track, d.vt.name, int64(start), d.flow)
+	}
+}
+
+func (c *Controller) unlink(d *delivery) {
+	for i, q := range c.pending {
+		if q == d {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
 // Controller is the machine's legacy interrupt controller.
 type Controller struct {
 	eng   *sim.Shard
@@ -100,6 +151,9 @@ type Controller struct {
 	idt   map[Vector]idtEntry
 
 	busyUntil map[victimKey]sim.Cycles
+
+	// pending tracks raised-but-undelivered interrupts for checkpointing.
+	pending []*delivery
 
 	// Tracing (nil tr = off): each vector gets its own track; a raise emits
 	// an instant plus a flow arrow to the delivery span (entry+handler+exit).
@@ -191,27 +245,9 @@ func (c *Controller) Raise(v Vector) sim.Cycles {
 		c.tr.Instant(vt.track, "raise", int64(c.eng.Now()))
 		c.tr.FlowStart(vt.track, vt.name, int64(c.eng.Now()), flow)
 	}
-	var deliver func()
-	deliver = func() {
-		if bu := c.busyUntil[key]; bu > c.eng.Now() {
-			// A previous handler still occupies the IRQ context.
-			c.eng.At(bu, fmt.Sprintf("irq%d-pend", v), deliver)
-			return
-		}
-		// Wake the core if it is idle, then steal entry+handler+exit from
-		// whatever was running.
-		e.core.WakeFromHalt(e.victim)
-		start := c.eng.Now()
-		cost := c.costs.Entry + e.handler(v, start) + c.costs.Exit
-		c.busyUntil[key] = start + cost
-		e.core.InjectDelay(e.victim, cost)
-		c.delivered++
-		if c.tr != nil {
-			c.tr.Complete(vt.track, vt.name, int64(start), int64(cost))
-			c.tr.FlowEnd(vt.track, vt.name, int64(start), flow)
-		}
-	}
-	c.eng.After(c.costs.Controller, fmt.Sprintf("irq%d", v), deliver)
+	d := &delivery{c: c, v: v, e: e, key: key, traced: c.tr != nil, flow: flow, vt: vt}
+	d.h = c.eng.AfterCallback(c.costs.Controller, fmt.Sprintf("irq%d", v), d)
+	c.pending = append(c.pending, d)
 	earliest := c.eng.Now() + c.costs.Controller
 	if bu := c.busyUntil[key]; bu > earliest {
 		earliest = bu

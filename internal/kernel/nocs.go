@@ -28,6 +28,10 @@ type Nocs struct {
 	services  int
 	nativeSeq int
 	reArms    uint64
+	// svcParked holds each service thread's "last blocked in mwait" flag,
+	// indexed by spawn order. Kept here rather than in per-service closure
+	// state so the kernel's dynamic state is checkpointable (DESIGN.md §13).
+	svcParked []bool
 }
 
 // NewNocs installs the nocs personality on a core. Hardware threads are
@@ -86,10 +90,11 @@ func (k *Nocs) SpawnService(name string, watch func() []int64, fn ServiceFunc) (
 	}
 	k.nativeSeq++
 	sym := fmt.Sprintf("nocs.svc.%d.%s", k.nativeSeq, name)
-	parked := false // true while the service last blocked in mwait
+	svc := len(k.svcParked) // true while the service last blocked in mwait
+	k.svcParked = append(k.svcParked, false)
 	k.c.RegisterNative(sym, func(c *core.Core, t *hwthread.Context) sim.Cycles {
-		fromPark := parked
-		parked = false
+		fromPark := k.svcParked[svc]
+		k.svcParked[svc] = false
 		// Race-free doorbell idiom: arm BEFORE draining, so a write that
 		// lands while fn processes is caught by the monitor pending flag
 		// and the eventual WaitArmed completes immediately instead of
@@ -115,7 +120,7 @@ func (k *Nocs) SpawnService(name string, watch func() []int64, fn ServiceFunc) (
 			k.reArms++
 		}
 		if c.WaitArmed(t) {
-			parked = true
+			k.svcParked[svc] = true
 		}
 		// Blocked: the thread re-enters this native on wakeup.
 		// Not blocked (write landed since arming): re-enter immediately.

@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nocs/internal/faultinject"
+	"nocs/internal/sim"
+	"nocs/internal/snapshot"
+	"nocs/internal/workload"
+)
+
+type compRec struct {
+	id      int
+	finish  sim.Cycles
+	latency sim.Cycles
+}
+
+// buildQueueCase constructs one discipline on a fresh engine with a
+// completion collector, plus the checkpoint components for it.
+func buildQueueCase(kind string, eng *sim.Shard, faults bool, out *[]compRec) (QueueServer, []Component) {
+	collect := func(c Completion) {
+		*out = append(*out, compRec{c.Req.ID, c.Finish, c.Latency})
+	}
+	var inj *faultinject.Injector
+	if faults {
+		inj = faultinject.New(faultinject.Plan{Seed: 0xfa017, RequestFaultP: 0.05, RequestFaultPenalty: 1500})
+	}
+	switch kind {
+	case "fcfs":
+		s := NewFCFS(eng, 2, 120, collect)
+		s.Faults = inj
+		comps := []Component{{Name: "fcfs", C: s}}
+		if inj != nil {
+			comps = append(comps, FaultComponent("faults", inj))
+		}
+		return s, comps
+	case "ps":
+		s := NewPS(eng, 2, 60, collect)
+		s.MaxActive = 6
+		s.Faults = inj
+		comps := []Component{{Name: "ps", C: s}}
+		if inj != nil {
+			comps = append(comps, FaultComponent("faults", inj))
+		}
+		return s, comps
+	case "ts":
+		s := NewTimeslice(eng, 2, 400, 90, collect)
+		return s, []Component{{Name: "ts", C: s}}
+	}
+	panic("unknown kind " + kind)
+}
+
+func queueReqs() []workload.Request {
+	rng := sim.NewRNG(11)
+	arr := workload.NewPoissonArrivals(1000, rng)
+	svc := workload.Bimodal{Short: 600, Long: 20000, PShort: 0.95, RNG: rng}
+	return workload.Generate(300, 0, arr, svc)
+}
+
+// TestQueueServerSnapshotRoundTrip checkpoints each discipline mid-run —
+// requests queued, in service, and still arriving; for the faulted variants
+// the injector RNG cursor mid-stream — restores into a freshly built engine
+// and server, and requires the continued completion stream to exactly extend
+// the straight-through run's. Re-serializing the restored shard must give the
+// original bytes (tombstones from PS's cancel-heavy rescheduling included).
+func TestQueueServerSnapshotRoundTrip(t *testing.T) {
+	const checkpoint = 120_000
+	for _, kind := range []string{"fcfs", "ps", "ts"} {
+		for _, faults := range []bool{false, true} {
+			if kind == "ts" && faults {
+				continue // timeslicing has no fault hook
+			}
+			name := kind
+			if faults {
+				name += "-faulted"
+			}
+			t.Run(name, func(t *testing.T) {
+				reqs := queueReqs()
+
+				// Straight-through reference stream.
+				var full []compRec
+				engR := sim.SoloShard(sim.NewEngine(nil))
+				srvR, _ := buildQueueCase(kind, engR, faults, &full)
+				srvR.(interface{ SubmitAll([]workload.Request) }).SubmitAll(reqs)
+				engR.Run(0)
+
+				// Checkpointed run: prefix on A, snapshot, suffix on B.
+				var prefix []compRec
+				engA := sim.SoloShard(sim.NewEngine(nil))
+				srvA, compsA := buildQueueCase(kind, engA, faults, &prefix)
+				srvA.(interface{ SubmitAll([]workload.Request) }).SubmitAll(reqs)
+				engA.RunUntil(checkpoint)
+
+				b := snapshot.NewBuilder()
+				if err := SnapshotShard(b, engA, compsA...); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := b.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				snap, err := snapshot.Decode(buf.Bytes())
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var suffix []compRec
+				engB := sim.SoloShard(sim.NewEngine(nil))
+				_, compsB := buildQueueCase(kind, engB, faults, &suffix)
+				if err := RestoreShard(snap, engB, compsB...); err != nil {
+					t.Fatal(err)
+				}
+
+				b2 := snapshot.NewBuilder()
+				if err := SnapshotShard(b2, engB, compsB...); err != nil {
+					t.Fatal(err)
+				}
+				var buf2 bytes.Buffer
+				if _, err := b2.WriteTo(&buf2); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+					t.Fatalf("restored shard re-serializes to different bytes (%d vs %d)", buf.Len(), buf2.Len())
+				}
+
+				engB.Run(0)
+				got := append(append([]compRec(nil), prefix...), suffix...)
+				if !reflect.DeepEqual(got, full) {
+					t.Fatalf("restored completion stream diverged: prefix %d + suffix %d vs full %d",
+						len(prefix), len(suffix), len(full))
+				}
+				if engB.Now() != engR.Now() {
+					t.Fatalf("restored run ended at cycle %d, straight-through at %d", engB.Now(), engR.Now())
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotShardUnclaimedEvent: a live event no component claims is a
+// named checkpoint error, not a silent drop.
+func TestSnapshotShardUnclaimedEvent(t *testing.T) {
+	eng := sim.SoloShard(sim.NewEngine(nil))
+	var sink []compRec
+	_, comps := buildQueueCase("fcfs", eng, false, &sink)
+	eng.After(10, "bench-glue", func() {})
+	err := SnapshotShard(snapshot.NewBuilder(), eng, comps...)
+	if err == nil || !strings.Contains(err.Error(), "bench-glue") {
+		t.Fatalf("want unclaimed-event error naming bench-glue, got %v", err)
+	}
+}

@@ -32,10 +32,12 @@ import (
 	"nocs/internal/core"
 	"nocs/internal/device"
 	"nocs/internal/faultinject"
+	"nocs/internal/hwthread"
 	"nocs/internal/irq"
 	"nocs/internal/mem"
 	"nocs/internal/monitor"
 	"nocs/internal/sim"
+	"nocs/internal/snapshot"
 	"nocs/internal/trace"
 )
 
@@ -162,6 +164,40 @@ type shardState struct {
 	inj *faultinject.Injector
 }
 
+// deviceSnapshotter is the checkpoint surface every machine-attached device
+// implements (DESIGN.md §13).
+type deviceSnapshotter interface {
+	SnapshotState(w *snapshot.W) error
+	RestoreState(r *snapshot.R) error
+	LiveHandles() []sim.Handle
+}
+
+// machDevice is one registered device: its stable checkpoint name ("nic0",
+// "timer1", ...), owning shard, and snapshot surface.
+type machDevice struct {
+	name  string
+	shard sim.ShardID
+	dev   deviceSnapshotter
+}
+
+// ComponentSnapshotter is the checkpoint surface of a driver-built component
+// (a kernel personality, a netstack service, ...) attached to the machine's
+// snapshot with AttachSnapshotter. It mirrors the device surface: serialize
+// dynamic state, restore it (re-creating owned events), and declare the live
+// event handles the engine should consider claimed.
+type ComponentSnapshotter interface {
+	SnapshotState(w *snapshot.W) error
+	RestoreState(r *snapshot.R) error
+	LiveHandles() []sim.Handle
+}
+
+// attachedComponent is one driver-registered snapshot participant.
+type attachedComponent struct {
+	name  string
+	shard sim.ShardID
+	cs    ComponentSnapshotter
+}
+
 // Machine is a complete simulated system.
 type Machine struct {
 	sched     sim.Scheduler
@@ -169,6 +205,14 @@ type Machine struct {
 	cores     []*core.Core
 	coreShard []sim.ShardID
 	look      sim.Cycles
+
+	// devices registers every attached device in creation order, for
+	// checkpointing; injects tracks driver-scheduled deterministic
+	// injections (ScheduleDMAWrite / ScheduleSpuriousWake) still queued;
+	// attached holds driver-registered snapshot participants.
+	devices  []machDevice
+	injects  []*pendingInject
+	attached []attachedComponent
 
 	tr   *trace.Tracer
 	name string
@@ -252,8 +296,8 @@ func New(opts ...Option) *Machine {
 				inj.SetTracer(tr, func() int64 { return int64(sh.Now()) },
 					mach.shardTracePrefix(sim.ShardID(s))+"/faults")
 			}
-			mon.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) {
-				sh.After(d, name, fn)
+			mon.SetFaultInjector(inj, func(d sim.Cycles, name string, cb sim.Callback) sim.Handle {
+				return sh.AfterCallback(d, name, cb)
 			})
 		}
 		mach.shards = append(mach.shards, st)
@@ -401,6 +445,70 @@ func (m *Machine) RemoteWrite(from, to sim.ShardID, addr, val int64, delay sim.C
 	m.shards[from].sh.Send(to, delay, "xwrite", &remoteWrite{mem: m.shards[to].mem, addr: addr, val: val})
 }
 
+// Injection kinds for pendingInject.
+const (
+	injectDMA  = uint8(0)
+	injectWake = uint8(1)
+)
+
+// pendingInject is one driver-scheduled deterministic injection — a DMA
+// write or a spurious monitor wake from a precomputed schedule (the
+// differential harness's generated specs). Keeping these as tracked machine
+// state instead of driver closures is what lets a run with a pending
+// injection schedule be checkpointed (DESIGN.md §13).
+type pendingInject struct {
+	m    *Machine
+	h    sim.Handle
+	s    sim.ShardID
+	kind uint8
+	addr int64 // DMA target
+	val  int64
+	core int64 // wake target
+	ptid int64
+}
+
+func (j *pendingInject) OnEvent() {
+	m := j.m
+	for i, q := range m.injects {
+		if q == j {
+			m.injects = append(m.injects[:i], m.injects[i+1:]...)
+			break
+		}
+	}
+	switch j.kind {
+	case injectDMA:
+		m.shards[j.s].mem.Write(j.addr, j.val, mem.SrcDMA)
+	case injectWake:
+		m.cores[j.core].InjectSpuriousWake(hwthread.PTID(j.ptid))
+	}
+}
+
+// ScheduleDMAWrite schedules a device-style DMA store into shard s's memory
+// at absolute cycle `at`. Unlike an ad-hoc driver closure, the pending write
+// is machine state and survives a checkpoint.
+func (m *Machine) ScheduleDMAWrite(s sim.ShardID, at sim.Cycles, addr, val int64) {
+	j := &pendingInject{m: m, s: s, kind: injectDMA, addr: addr, val: val}
+	j.h = m.shards[s].sh.AtCallback(at, "dma", j)
+	m.injects = append(m.injects, j)
+}
+
+// ScheduleSpuriousWake schedules an injected spurious monitor wake for core
+// ci's ptid p at absolute cycle `at` (a precomputed fault schedule entry).
+func (m *Machine) ScheduleSpuriousWake(ci int, at sim.Cycles, p hwthread.PTID) {
+	s := m.coreShard[ci]
+	j := &pendingInject{m: m, s: s, kind: injectWake, core: int64(ci), ptid: int64(p)}
+	j.h = m.shards[s].sh.AtCallback(at, "fault-wake", j)
+	m.injects = append(m.injects, j)
+}
+
+// AttachSnapshotter registers a driver-built component living on shard s in
+// the machine's checkpoint: Snapshot writes its section ("ext/<name>") and
+// claims its live events, and Restore calls its RestoreState. The restore
+// target must attach the same components in the same order.
+func (m *Machine) AttachSnapshotter(name string, s sim.ShardID, cs ComponentSnapshotter) {
+	m.attached = append(m.attached, attachedComponent{name: name, shard: s, cs: cs})
+}
+
 // Fatal returns the first core fatal error, if any.
 func (m *Machine) Fatal() error {
 	for _, c := range m.cores {
@@ -454,6 +562,7 @@ func (m *Machine) NewNICOn(s sim.ShardID, cfg device.NICConfig, sig device.Signa
 		}
 	}
 	m.wireDMA(s, dma, fmt.Sprintf("nic%d", m.nNIC))
+	m.devices = append(m.devices, machDevice{name: fmt.Sprintf("nic%d", m.nNIC), shard: s, dev: n})
 	m.nNIC++
 	return n, nil
 }
@@ -474,6 +583,7 @@ func (m *Machine) NewTimerOn(s sim.ShardID, cfg device.TimerConfig, sig device.S
 	}
 	t.SetFaultInjector(st.inj)
 	m.wireDMA(s, dma, fmt.Sprintf("timer%d", m.nTimer))
+	m.devices = append(m.devices, machDevice{name: fmt.Sprintf("timer%d", m.nTimer), shard: s, dev: t})
 	m.nTimer++
 	return t, nil
 }
@@ -496,6 +606,7 @@ func (m *Machine) NewSSDOn(s sim.ShardID, cfg device.SSDConfig, sig device.Signa
 		return nil, fmt.Errorf("machine: mapping SSD doorbell: %w", err)
 	}
 	m.wireDMA(s, dma, fmt.Sprintf("ssd%d", m.nSSD))
+	m.devices = append(m.devices, machDevice{name: fmt.Sprintf("ssd%d", m.nSSD), shard: s, dev: ssd})
 	m.nSSD++
 	return ssd, nil
 }

@@ -1,0 +1,125 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"nocs/internal/snapshot"
+)
+
+// Checkpoint support (DESIGN.md §13). Memory serializes its word store and
+// write counters; MMIO regions and observers are wiring, re-created when the
+// restore target machine is constructed. Caches serialize their full LRU
+// orders — replacement state is timing-visible, so a restored run must warm
+// and evict exactly as the straight-through run would.
+
+// SnapshotState writes the word store (sorted by address for deterministic
+// bytes) and write counters.
+func (m *Memory) SnapshotState(w *snapshot.W) {
+	addrs := make([]int64, 0, len(m.words))
+	for a := range m.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	w.Len(len(addrs))
+	for _, a := range addrs {
+		w.I64(a).I64(m.words[a])
+	}
+	w.U64(m.writes).U64(m.dmaWrites)
+}
+
+// RestoreState replaces the word store and counters with the checkpoint's.
+func (m *Memory) RestoreState(r *snapshot.R) error {
+	n := r.Len(16)
+	words := make(map[int64]int64, n)
+	for i := 0; i < n; i++ {
+		a := r.I64()
+		words[a] = r.I64()
+	}
+	writes := r.U64()
+	dma := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	m.words = words
+	m.writes = writes
+	m.dmaWrites = dma
+	return nil
+}
+
+// SnapshotState writes the cache's geometry (validated on restore), per-set
+// tag lists in LRU order, pinned lines, and hit/miss counters.
+func (c *Cache) SnapshotState(w *snapshot.W) {
+	w.String(c.Name)
+	w.I64(int64(c.SizeBytes)).I64(int64(c.LineBytes)).I64(int64(c.Ways))
+	w.Len(c.sets)
+	for _, ways := range c.tags {
+		w.I64s(ways)
+	}
+	pins := make([]int64, 0, len(c.pinned))
+	for ln := range c.pinned {
+		pins = append(pins, ln)
+	}
+	sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+	w.I64s(pins)
+	w.U64(c.hits).U64(c.misses)
+}
+
+// RestoreState replaces the cache's dynamic state; the stored geometry must
+// match this cache's.
+func (c *Cache) RestoreState(r *snapshot.R) error {
+	name := r.String()
+	size, line, ways := r.I64(), r.I64(), r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if name != c.Name || int(size) != c.SizeBytes || int(line) != c.LineBytes || int(ways) != c.Ways {
+		return fmt.Errorf("mem: cache %q geometry mismatch (snapshot %q %d/%d/%d, live %d/%d/%d)",
+			c.Name, name, size, line, ways, c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	sets := r.Len(4)
+	if r.Err() == nil && sets != c.sets {
+		return fmt.Errorf("mem: cache %q has %d sets, snapshot has %d", c.Name, c.sets, sets)
+	}
+	tags := make([][]int64, sets)
+	for i := 0; i < sets; i++ {
+		tags[i] = r.I64s()
+	}
+	pins := r.I64s()
+	hits, misses := r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.tags = tags
+	c.pinned = make(map[int64]bool, len(pins))
+	for _, ln := range pins {
+		c.pinned[ln] = true
+	}
+	c.pinCount = len(pins)
+	c.hits, c.misses = hits, misses
+	return nil
+}
+
+// SnapshotState writes all three cache levels plus the hierarchy counters.
+func (h *Hierarchy) SnapshotState(w *snapshot.W) {
+	h.L1.SnapshotState(w)
+	h.L2.SnapshotState(w)
+	h.L3.SnapshotState(w)
+	w.U64(h.accesses).U64(h.dramHits)
+}
+
+// RestoreState restores all three cache levels and the hierarchy counters.
+func (h *Hierarchy) RestoreState(r *snapshot.R) error {
+	if err := h.L1.RestoreState(r); err != nil {
+		return err
+	}
+	if err := h.L2.RestoreState(r); err != nil {
+		return err
+	}
+	if err := h.L3.RestoreState(r); err != nil {
+		return err
+	}
+	h.accesses = r.U64()
+	h.dramHits = r.U64()
+	return r.Err()
+}

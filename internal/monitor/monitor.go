@@ -101,9 +101,13 @@ type Engine struct {
 
 	// Fault injection (nil inj = off). after schedules deferred deliveries
 	// on the machine's event engine — the monitor has no clock or engine of
-	// its own, so the machine supplies both when it arms a fault plan.
-	inj   *faultinject.Injector
-	after func(d sim.Cycles, name string, fn func())
+	// its own, so the machine supplies both when it arms a fault plan. It
+	// returns the event handle so deferred deliveries stay checkpointable
+	// (DESIGN.md §13): every in-flight injection is tracked in pending with
+	// its handle and a serializable payload.
+	inj     *faultinject.Injector
+	after   func(d sim.Cycles, name string, cb sim.Callback) sim.Handle
+	pending []*pendingInj
 
 	wakeups   uint64
 	immediate uint64 // mwait completed without blocking (pending write)
@@ -136,10 +140,53 @@ func (e *Engine) SetTracer(tr *trace.Tracer, now func() int64, process string) {
 
 // SetFaultInjector arms fault injection: spurious wakes after blocking
 // waits and coalesced (deferred) wake batches. after schedules a callback
-// on the machine's event engine.
-func (e *Engine) SetFaultInjector(inj *faultinject.Injector, after func(d sim.Cycles, name string, fn func())) {
+// on the machine's event engine and returns its handle.
+func (e *Engine) SetFaultInjector(inj *faultinject.Injector, after func(d sim.Cycles, name string, cb sim.Callback) sim.Handle) {
 	e.inj = inj
 	e.after = after
+}
+
+// Event names of the monitor's deferred fault deliveries, exported for the
+// checkpoint layer (which re-creates the events with their original names).
+const (
+	EvSpuriousWake  = "fault-spurious-wake"
+	EvCoalescedWake = "fault-coalesced-wake"
+)
+
+// pendingInj is one scheduled-but-undelivered fault injection: a spurious
+// wake aimed at one waiter, or a coalesced wake batch. It is the event body
+// (sim.Callback), so the delivery path stays closure-free and the payload
+// stays serializable for checkpoints.
+type pendingInj struct {
+	e        *Engine
+	h        sim.Handle
+	spurious bool
+	w        Waiter   // spurious target
+	batch    []Waiter // coalesced batch
+	addr     int64
+	val      int64
+	src      mem.WriteSource
+}
+
+// OnEvent delivers the deferred injection and unlinks it from the pending
+// list.
+func (p *pendingInj) OnEvent() {
+	p.e.unlink(p)
+	if p.spurious {
+		p.e.InjectWake(p.w)
+		return
+	}
+	p.e.coalesced++
+	p.e.deliverBatch(p.batch, p.addr, p.val, p.src)
+}
+
+func (e *Engine) unlink(p *pendingInj) {
+	for i, q := range e.pending {
+		if q == p {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return
+		}
+	}
 }
 
 // traceFire records one wakeup delivery and stashes its flow for the core's
@@ -233,7 +280,9 @@ func (e *Engine) Wait(w Waiter) (blocked bool) {
 	s.waiting = true
 	if e.inj != nil && e.after != nil {
 		if d, ok := e.inj.SpuriousWake(); ok {
-			e.after(d, "fault-spurious-wake", func() { e.InjectWake(w) })
+			p := &pendingInj{e: e, spurious: true, w: w}
+			p.h = e.after(d, EvSpuriousWake, p)
+			e.pending = append(e.pending, p)
 		}
 	}
 	return true
@@ -324,11 +373,12 @@ func (e *Engine) ObserveWrite(addr, val int64, src mem.WriteSource) {
 			// releases it late. Waiters woken by another write in the
 			// meantime are skipped inside deliverBatch — the wake is
 			// coalesced with that one, never lost.
-			batch := append([]Waiter(nil), toWake...)
-			e.after(d, "fault-coalesced-wake", func() {
-				e.coalesced++
-				e.deliverBatch(batch, addr, val, src)
-			})
+			p := &pendingInj{
+				e: e, batch: append([]Waiter(nil), toWake...),
+				addr: addr, val: val, src: src,
+			}
+			p.h = e.after(d, EvCoalescedWake, p)
+			e.pending = append(e.pending, p)
 			return
 		}
 	}

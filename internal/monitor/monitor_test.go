@@ -381,7 +381,7 @@ func TestSpuriousWakeThenRealWriteNotLost(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	e := NewEngine()
 	inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
-	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, cb sim.Callback) sim.Handle { return eng.AfterCallback(d, name, cb) })
 
 	w := rearmingWaiter(e, 0x100)
 	e.Arm(w, 0x100)
@@ -414,7 +414,7 @@ func TestSpuriousWakeRealWriteInReArmWindow(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	e := NewEngine()
 	inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
-	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, cb sim.Callback) sim.Handle { return eng.AfterCallback(d, name, cb) })
 
 	w := &fakeWaiter{}
 	w.rearm = func(w *fakeWaiter) {
@@ -449,7 +449,7 @@ func TestSpuriousWakeSameTickAsRealWrite(t *testing.T) {
 		eng := sim.NewEngine(nil)
 		e := NewEngine()
 		inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
-		e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+		e.SetFaultInjector(inj, func(d sim.Cycles, name string, cb sim.Callback) sim.Handle { return eng.AfterCallback(d, name, cb) })
 
 		w := rearmingWaiter(e, 0x300)
 		e.Arm(w, 0x300)
@@ -471,7 +471,7 @@ func TestSpuriousWakeSkipsWokenWaiter(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	e := NewEngine()
 	inj := faultinject.New(faultinject.Plan{Seed: 7, SpuriousWakeP: 1, SpuriousDelay: 100})
-	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, cb sim.Callback) sim.Handle { return eng.AfterCallback(d, name, cb) })
 
 	w := &fakeWaiter{} // does not re-arm
 	e.Arm(w, 0x400)
@@ -491,7 +491,7 @@ func TestCoalescedWakeDeliveredLate(t *testing.T) {
 	eng := sim.NewEngine(nil)
 	e := NewEngine()
 	inj := faultinject.New(faultinject.Plan{Seed: 7, CoalesceP: 1, CoalesceDelay: 200})
-	e.SetFaultInjector(inj, func(d sim.Cycles, name string, fn func()) { eng.After(d, name, fn) })
+	e.SetFaultInjector(inj, func(d sim.Cycles, name string, cb sim.Callback) sim.Handle { return eng.AfterCallback(d, name, cb) })
 
 	w := &fakeWaiter{}
 	e.Arm(w, 0x500)

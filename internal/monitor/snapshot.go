@@ -1,0 +1,177 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"nocs/internal/mem"
+	"nocs/internal/sim"
+	"nocs/internal/snapshot"
+)
+
+// Checkpoint support (DESIGN.md §13). Waiters are interface values, so the
+// machine layer supplies the translation in both directions: id maps a live
+// waiter to a stable integer (its ptid, in practice) and waiter maps it back.
+// Three pieces of state round-trip:
+//
+//   - per-waiter watch sets in arm order, plus the waiting/pending flags and
+//     the buffered pending write;
+//   - per-address waiter lists in global arm order (a write waking several
+//     waiters delivers in this order — it is not recoverable from the
+//     per-waiter orders alone);
+//   - the wakeup counters.
+//
+// Scheduled-but-undelivered fault injections are events, owned by the
+// machine's event checkpoint: PendingInjections exports them and the two
+// Restore*Injection methods re-create them against restored event handles.
+
+// PendingInjection describes one scheduled-but-undelivered fault injection.
+type PendingInjection struct {
+	Handle   sim.Handle
+	Spurious bool
+	Waiter   Waiter   // spurious target (nil for coalesced)
+	Batch    []Waiter // coalesced batch (nil for spurious)
+	Addr     int64
+	Val      int64
+	Src      mem.WriteSource
+}
+
+// PendingInjections lists the in-flight deferred fault deliveries in
+// scheduling order.
+func (e *Engine) PendingInjections() []PendingInjection {
+	out := make([]PendingInjection, 0, len(e.pending))
+	for _, p := range e.pending {
+		out = append(out, PendingInjection{
+			Handle: p.h, Spurious: p.spurious, Waiter: p.w,
+			Batch: p.batch, Addr: p.addr, Val: p.val, Src: p.src,
+		})
+	}
+	return out
+}
+
+// RestoreSpuriousInjection re-creates a pending spurious wake. schedule must
+// queue the callback at the injection's original (cycle, sequence) slot and
+// return the new handle.
+func (e *Engine) RestoreSpuriousInjection(w Waiter, schedule func(cb sim.Callback) sim.Handle) {
+	p := &pendingInj{e: e, spurious: true, w: w}
+	p.h = schedule(p)
+	e.pending = append(e.pending, p)
+}
+
+// RestoreCoalescedInjection re-creates a pending coalesced wake batch.
+func (e *Engine) RestoreCoalescedInjection(batch []Waiter, addr, val int64, src mem.WriteSource, schedule func(cb sim.Callback) sim.Handle) {
+	p := &pendingInj{e: e, batch: batch, addr: addr, val: val, src: src}
+	p.h = schedule(p)
+	e.pending = append(e.pending, p)
+}
+
+// SnapshotState writes the watch sets, per-address arm orders, and counters.
+// id translates a live waiter to its stable checkpoint id; a waiter it does
+// not know makes the state non-checkpointable.
+func (e *Engine) SnapshotState(w *snapshot.W, id func(Waiter) (int64, bool)) error {
+	type watcherRec struct {
+		id int64
+		s  *watcherState
+	}
+	recs := make([]watcherRec, 0, len(e.watchers))
+	for wt, s := range e.watchers {
+		wid, ok := id(wt)
+		if !ok {
+			return fmt.Errorf("monitor: waiter %T is not checkpointable", wt)
+		}
+		recs = append(recs, watcherRec{wid, s})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+	w.Len(len(recs))
+	for _, rec := range recs {
+		w.I64(rec.id)
+		w.I64s(rec.s.order)
+		w.Bool(rec.s.waiting).Bool(rec.s.pending)
+		w.I64(rec.s.pAddr).I64(rec.s.pVal).U8(uint8(rec.s.pSrc))
+	}
+
+	addrs := make([]int64, 0, len(e.byAddr))
+	for a := range e.byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	w.Len(len(addrs))
+	for _, a := range addrs {
+		w.I64(a)
+		aw := e.byAddr[a]
+		w.Len(len(aw.list))
+		for _, wt := range aw.list {
+			wid, ok := id(wt)
+			if !ok {
+				return fmt.Errorf("monitor: waiter %T is not checkpointable", wt)
+			}
+			w.I64(wid)
+		}
+	}
+
+	w.U64(e.wakeups).U64(e.immediate).U64(e.dropped)
+	w.U64(e.evicted).U64(e.spurious).U64(e.coalesced)
+	return nil
+}
+
+// RestoreState replaces the watch sets and counters with the checkpoint's.
+// waiter translates a checkpoint id back to the live waiter object. Pending
+// injections are restored separately by the machine's event restore.
+func (e *Engine) RestoreState(r *snapshot.R, waiter func(int64) (Waiter, error)) error {
+	nw := r.Len(8)
+	watchers := make(map[Waiter]*watcherState, nw)
+	for i := 0; i < nw; i++ {
+		wid := r.I64()
+		order := r.I64s()
+		s := &watcherState{addrs: make(map[int64]bool, len(order)), order: order}
+		s.waiting, s.pending = r.Bool(), r.Bool()
+		s.pAddr, s.pVal, s.pSrc = r.I64(), r.I64(), mem.WriteSource(r.U8())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		wt, err := waiter(wid)
+		if err != nil {
+			return err
+		}
+		for _, a := range order {
+			s.addrs[a] = true
+		}
+		if _, dup := watchers[wt]; dup {
+			return fmt.Errorf("monitor: duplicate waiter id %d in snapshot", wid)
+		}
+		watchers[wt] = s
+	}
+
+	na := r.Len(12)
+	byAddr := make(map[int64]*addrWatchers, na)
+	for i := 0; i < na; i++ {
+		a := r.I64()
+		n := r.Len(8)
+		aw := &addrWatchers{set: make(map[Waiter]bool, n)}
+		for j := 0; j < n; j++ {
+			wid := r.I64()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			wt, err := waiter(wid)
+			if err != nil {
+				return err
+			}
+			aw.add(wt)
+		}
+		byAddr[a] = aw
+	}
+
+	wakeups, immediate, dropped := r.U64(), r.U64(), r.U64()
+	evicted, spurious, coalesced := r.U64(), r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	e.watchers = watchers
+	e.byAddr = byAddr
+	e.pending = nil
+	e.wakeups, e.immediate, e.dropped = wakeups, immediate, dropped
+	e.evicted, e.spurious, e.coalesced = evicted, spurious, coalesced
+	return nil
+}

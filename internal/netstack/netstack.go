@@ -88,6 +88,56 @@ type Stack struct {
 	svcFaults    uint64 // injected mid-packet thread faults absorbed
 	txSeq        int64
 	ptid         hwthread.PTID
+
+	// live tracks the in-flight delayed doorbell publishes, so a machine
+	// checkpoint can claim and re-create them (DESIGN.md §13).
+	live []*stackEv
+}
+
+// Event kinds for stackEv.
+const (
+	evSockRx     = uint8(0) // delayed socket doorbell publish
+	evTxDoorbell = uint8(1) // delayed NIC TX doorbell ring
+)
+
+// stackEv is a checkpointable in-flight stack event: the delayed doorbell
+// publishes that used to be ad-hoc closures. Each live event knows its slot
+// in the stack's live list and unlinks itself when it fires.
+type stackEv struct {
+	st   *Stack
+	idx  int
+	kind uint8
+	sock int   // evSockRx: index into st.order
+	val  int64 // doorbell count / tx sequence
+	h    sim.Handle
+}
+
+func (e *stackEv) OnEvent() {
+	c := e.st.k.Core()
+	switch e.kind {
+	case evSockRx:
+		c.WriteWord(e.st.order[e.sock].base+sockDoorbell, e.val)
+	case evTxDoorbell:
+		c.WriteWord(e.st.nic.Config().TXDoorbell, e.val)
+	}
+	e.st.unlink(e)
+}
+
+func (s *Stack) unlink(e *stackEv) {
+	last := len(s.live) - 1
+	s.live[e.idx] = s.live[last]
+	s.live[e.idx].idx = e.idx
+	s.live = s.live[:last]
+}
+
+func (s *Stack) scheduleEv(kind uint8, sock int, val int64, after sim.Cycles) {
+	e := &stackEv{st: s, idx: len(s.live), kind: kind, sock: sock, val: val}
+	name := "sock-rx"
+	if kind == evTxDoorbell {
+		name = "tx-doorbell"
+	}
+	e.h = s.k.Core().Shard().AfterCallback(after, name, e)
+	s.live = append(s.live, e)
 }
 
 // Socket is one bound port's receive ring.
@@ -216,11 +266,7 @@ func (s *Stack) drainRX() sim.Cycles {
 		c.WriteWord(se+8, length)
 		// Doorbell last: monitor waiters see a complete slot.
 		sock.delivered++
-		at := cost
-		db := sock.delivered
-		c.Shard().After(at, "sock-rx", func() {
-			c.WriteWord(sock.base+sockDoorbell, db)
-		})
+		s.scheduleEv(evSockRx, sock.idx, sock.delivered, cost)
 		s.received++
 	}
 	// Publish NIC head for flow control.
@@ -255,10 +301,7 @@ func (s *Stack) drainSend() sim.Cycles {
 	s.nic.WriteTXDesc(c.Mem(), s.txSeq, addr, length)
 	s.txSeq++
 	cost := s.cfg.PerPacket/2 + c.AccessCost(s.nic.Config().TXDoorbell)
-	seq := s.txSeq
-	c.Shard().After(cost, "tx-doorbell", func() {
-		c.WriteWord(s.nic.Config().TXDoorbell, seq)
-	})
+	s.scheduleEv(evTxDoorbell, 0, s.txSeq, cost)
 	s.sent++
 	return cost
 }

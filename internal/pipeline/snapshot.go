@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"nocs/internal/snapshot"
+)
+
+// Checkpoint support (DESIGN.md §13). RR order (the dense slice order), the
+// scan cursor, and per-thread deficit credits are all scheduling-visible, so
+// they round-trip exactly. The cached slowdowns are pure functions of the
+// occupancy and are deliberately NOT serialized: restore bumps the epoch so
+// every cache recomputes, which yields bit-identical values.
+
+// SnapshotState writes the occupancy in RR order plus the cursor and issue
+// counters.
+func (p *Pipeline) SnapshotState(w *snapshot.W) {
+	w.I64(int64(p.slots))
+	w.Len(len(p.threads))
+	for i := range p.threads {
+		t := &p.threads[i]
+		w.I64(int64(t.id)).I64(int64(t.weight)).I64(int64(t.credits)).U64(t.issued)
+	}
+	w.I64(int64(p.cursor))
+}
+
+// RestoreState replaces the runnable set with the checkpoint's, preserving
+// RR order, credits, and the scan cursor.
+func (p *Pipeline) RestoreState(r *snapshot.R) error {
+	slots := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if int(slots) != p.slots {
+		return fmt.Errorf("pipeline: snapshot has %d slots, live pipeline has %d", slots, p.slots)
+	}
+	n := r.Len(32)
+	threads := make([]thread, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		threads[i] = thread{
+			id:      int(r.I64()),
+			weight:  int(r.I64()),
+			credits: int(r.I64()),
+			issued:  r.U64(),
+		}
+		total += threads[i].weight
+	}
+	cursor := int(r.I64())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n > 0 && (cursor < 0 || cursor >= n) {
+		return fmt.Errorf("pipeline: snapshot cursor %d out of range for %d threads", cursor, n)
+	}
+	for i := range p.pos {
+		p.pos[i] = 0
+	}
+	p.threads = threads
+	for i := range threads {
+		p.setPos(threads[i].id, i)
+	}
+	p.totalWeight = total
+	p.cursor = cursor
+	if n == 0 {
+		p.cursor = 0
+	}
+	// Invalidate every slowdown cache and batch stamp: both are recomputed
+	// deterministically from the restored occupancy.
+	p.epoch++
+	p.batchSeq++
+	return nil
+}

@@ -1,0 +1,151 @@
+package diff
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"nocs/internal/core"
+	"nocs/internal/machine"
+	"nocs/internal/progen"
+	"nocs/internal/refmodel"
+	"nocs/internal/sim"
+)
+
+// This file is the checkpoint-aware half of the harness. checkpointRun and
+// restoreRun give the restore-equivalence sweep its primitives; Bisect uses
+// the same checkpoints to localize a divergence to its exact first cycle by
+// binary search, replaying at most one checkpoint interval of engine time
+// per probe instead of the whole run from zero.
+
+// checkpointRun runs s on the engine, pausing at each requested cycle (which
+// must be ascending) to serialize a machine checkpoint, and returns the final
+// outcome, the checkpoint bytes, and the refmodel config for the run.
+func checkpointRun(s *progen.Spec, at []sim.Cycles) (*outcome, [][]byte, refmodel.Config, error) {
+	m, c, cfg, err := setupEngine(s, nil)
+	if err != nil {
+		return nil, nil, cfg, err
+	}
+	snaps := make([][]byte, 0, len(at))
+	for _, cy := range at {
+		m.RunUntil(cy)
+		var buf bytes.Buffer
+		if err := m.Snapshot(&buf); err != nil {
+			return nil, nil, cfg, fmt.Errorf("checkpoint at cycle %d: %w", cy, err)
+		}
+		snaps = append(snaps, buf.Bytes())
+	}
+	m.RunUntil(sim.Cycles(s.Deadline))
+	return captureOutcome(s, m, c), snaps, cfg, nil
+}
+
+// restoreRun rebuilds the run from a serialized checkpoint into a freshly
+// constructed machine (same spec, same options) and returns it ready to
+// continue from the checkpoint cycle.
+func restoreRun(s *progen.Spec, ckpt []byte) (*machine.Machine, *core.Core, error) {
+	m, c, _, err := setupEngine(s, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Restore(bytes.NewReader(ckpt)); err != nil {
+		return nil, nil, err
+	}
+	return m, c, nil
+}
+
+// BisectResult reports a localized divergence between the engine and the
+// reference model.
+type BisectResult struct {
+	// FirstDivergentCycle is the smallest T for which running both sides to
+	// cycle T yields different architectural outcomes; -1 if the full run
+	// never diverges.
+	FirstDivergentCycle int64
+	// Divergences is the comparison output at FirstDivergentCycle.
+	Divergences []string
+	// Probes counts how many divergence probes the search performed.
+	Probes int
+	// Checkpoints is the number of engine checkpoints taken up front.
+	Checkpoints int
+}
+
+// Bisect localizes the first divergent cycle between the engine and the
+// (possibly mutated, via opt) reference model for s. The engine side is
+// checkpointed every `every` cycles in one pass; each probe then restores
+// the nearest checkpoint at or before the probe cycle instead of replaying
+// from zero, so probe cost is bounded by the checkpoint interval. The
+// reference side is cheap enough to rerun from scratch per probe. Probes
+// skip the refmodel invariant checker: a planted mutation (lost wakeups by
+// construction) would otherwise abort the search before it localizes
+// anything.
+func Bisect(s *progen.Spec, opt Options, every int64) (*BisectResult, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("bisect: checkpoint interval must be positive, got %d", every)
+	}
+	var cycles []sim.Cycles
+	for cy := int64(0); cy < s.Deadline; cy += every {
+		cycles = append(cycles, sim.Cycles(cy))
+	}
+	_, snaps, cfg, err := checkpointRun(s, cycles)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DropPendingWakeups = opt.DropPendingWakeups
+	cfg.SwallowInjectedWakes = opt.SwallowInjectedWakes
+
+	res := &BisectResult{FirstDivergentCycle: -1, Checkpoints: len(snaps)}
+
+	// diverged compares both sides' architectural state after running to
+	// cycle t. The engine restarts from the nearest checkpoint <= t; the
+	// reference interpreter reruns from zero.
+	diverged := func(t int64) ([]string, error) {
+		res.Probes++
+		k := sort.Search(len(cycles), func(i int) bool { return int64(cycles[i]) > t }) - 1
+		if k < 0 {
+			k = 0
+		}
+		m, c, err := restoreRun(s, snaps[k])
+		if err != nil {
+			return nil, fmt.Errorf("bisect probe at %d: %w", t, err)
+		}
+		m.RunUntil(sim.Cycles(t))
+		it, err := setupRef(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		it.Run(t)
+		return compare(s, captureOutcome(s, m, c), captureRef(s, it)), nil
+	}
+
+	last, err := diverged(s.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	if len(last) == 0 {
+		return res, nil // never diverges
+	}
+	first, err := diverged(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(first) > 0 {
+		res.FirstDivergentCycle, res.Divergences = 0, first
+		return res, nil
+	}
+
+	// Invariant: clean at lo, divergent at hi.
+	lo, hi, hiDivs := int64(0), s.Deadline, last
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		d, err := diverged(mid)
+		if err != nil {
+			return nil, err
+		}
+		if len(d) > 0 {
+			hi, hiDivs = mid, d
+		} else {
+			lo = mid
+		}
+	}
+	res.FirstDivergentCycle, res.Divergences = hi, hiDivs
+	return res, nil
+}

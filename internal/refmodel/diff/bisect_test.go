@@ -1,0 +1,124 @@
+package diff
+
+import (
+	"testing"
+
+	"nocs/internal/progen"
+)
+
+// findMutationGroundTruth runs the mutated reference model straight through
+// and returns the cycle its planted mutation first changed visible behavior,
+// or -1 if this spec never tickles the mutation.
+func findMutationGroundTruth(t *testing.T, s *progen.Spec, opt Options) int64 {
+	t.Helper()
+	_, _, cfg, err := checkpointRun(s, nil)
+	if err != nil {
+		t.Fatalf("seed %d: %v", s.Seed, err)
+	}
+	cfg.DropPendingWakeups = opt.DropPendingWakeups
+	cfg.SwallowInjectedWakes = opt.SwallowInjectedWakes
+	it, err := setupRef(s, cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", s.Seed, err)
+	}
+	it.Run(s.Deadline)
+	return it.FirstMutationEffect
+}
+
+// checkBisect plants a mutation on the reference side, bisects, and requires
+// the reported first divergent cycle to be exactly the mutation's recorded
+// first-effect cycle. Returns whether this seed actually exercised the
+// mutation (so sweeps can count coverage).
+func checkBisect(t *testing.T, s *progen.Spec, opt Options, every int64) bool {
+	t.Helper()
+	truth := findMutationGroundTruth(t, s, opt)
+	res, err := Bisect(s, opt, every)
+	if err != nil {
+		t.Fatalf("seed %d: bisect: %v", s.Seed, err)
+	}
+	if truth < 0 {
+		// The mutation never fired; some runs still end blocked forever on a
+		// wait the mutation starved, but a clean non-divergence is also fine.
+		if res.FirstDivergentCycle >= 0 {
+			t.Fatalf("seed %d: mutation never took effect but bisect reported divergence at %d: %v",
+				s.Seed, res.FirstDivergentCycle, res.Divergences)
+		}
+		return false
+	}
+	if res.FirstDivergentCycle != truth {
+		t.Fatalf("seed %d: bisect reported first divergent cycle %d, mutation first took effect at %d (probes=%d checkpoints=%d)\n  divergences: %v",
+			s.Seed, res.FirstDivergentCycle, truth, res.Probes, res.Checkpoints, res.Divergences)
+	}
+	if res.Probes > 64 {
+		t.Fatalf("seed %d: bisect burned %d probes for deadline %d — binary search is broken",
+			s.Seed, res.Probes, s.Deadline)
+	}
+	return true
+}
+
+// TestBisectLocalizesPlantedMutation is the bisection correctness test: the
+// reference model's documented wakeup-dropping mutation (DESIGN.md §9) is
+// planted, the checkpoint-bisecting harness runs, and the reported first
+// divergent cycle must equal the cycle the mutation first changed visible
+// behavior — an mwait completing immediately on the engine while the mutated
+// reference blocks.
+func TestBisectLocalizesPlantedMutation(t *testing.T) {
+	caught := 0
+	for seed := uint64(0); seed < 60 && caught < 5; seed++ {
+		s, err := progen.Generate(seed, progen.DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if checkBisect(t, s, Options{DropPendingWakeups: true}, s.Deadline/8+1) {
+			caught++
+		}
+	}
+	if caught < 5 {
+		t.Fatalf("only %d seeds exercised the planted mutation; generator bias too weak for this test", caught)
+	}
+}
+
+// TestBisectLocalizesSwallowedFault does the same for the fault-swallowing
+// mutation (DESIGN.md §10): the first swallowed spurious wake that would
+// have woken a waiting thread must be the reported divergence cycle.
+func TestBisectLocalizesSwallowedFault(t *testing.T) {
+	caught := 0
+	for seed := uint64(0); seed < 120 && caught < 5; seed++ {
+		s, err := progen.Generate(seed, progen.FaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Faults) == 0 {
+			continue
+		}
+		if checkBisect(t, s, Options{SwallowInjectedWakes: true}, s.Deadline/8+1) {
+			caught++
+		}
+	}
+	if caught < 5 {
+		t.Fatalf("only %d seeds exercised the fault-swallowing mutation", caught)
+	}
+}
+
+// TestBisectCleanRunReportsNoDivergence pins the no-bug path: with no
+// mutation planted, Bisect must report -1 after exactly one full-deadline
+// probe, not invent a divergence from checkpoint/restore artifacts.
+func TestBisectCleanRunReportsNoDivergence(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		s, err := progen.Generate(seed, progen.DefaultBias())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Bisect(s, Options{}, s.Deadline/8+1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.FirstDivergentCycle != -1 {
+			t.Fatalf("seed %d: clean run reported divergence at cycle %d: %v",
+				seed, res.FirstDivergentCycle, res.Divergences)
+		}
+		if res.Probes != 1 {
+			t.Fatalf("seed %d: clean run used %d probes, want 1", seed, res.Probes)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"nocs/internal/core"
 	"nocs/internal/hwthread"
 	"nocs/internal/isa"
 	"nocs/internal/machine"
@@ -114,6 +115,47 @@ func runEngine(s *progen.Spec, tr *trace.Tracer) (*outcome, refmodel.Config, err
 // engine runs its fastest batched path (the fastRun inner loop), letting the
 // batch-boundary tests diff that exact configuration against the refmodel.
 func runEngineHook(s *progen.Spec, tr *trace.Tracer, invariant bool) (*outcome, refmodel.Config, error) {
+	m, c, cfg, err := setupEngine(s, tr)
+	if err != nil {
+		return nil, cfg, err
+	}
+
+	// Engine-side structural invariant, sampled during execution: pipeline
+	// membership must exactly mirror the runnable set.
+	var invErr error
+	if invariant {
+		execs := 0
+		c.OnExec = func(hwthread.PTID, int64, isa.Instr, sim.Cycles) {
+			execs++
+			if invErr != nil || execs%64 != 0 {
+				return
+			}
+			for _, ctx := range c.Threads().Contexts() {
+				in := c.Pipeline().Contains(int(ctx.PTID))
+				want := ctx.State == hwthread.Runnable
+				if in != want {
+					invErr = fmt.Errorf("engine invariant: ptid %d state %v but pipeline membership %v at cycle %d",
+						ctx.PTID, ctx.State, in, m.Now())
+					return
+				}
+			}
+		}
+	}
+
+	m.RunUntil(sim.Cycles(s.Deadline))
+	if invErr != nil {
+		return nil, cfg, invErr
+	}
+	return captureOutcome(s, m, c), cfg, nil
+}
+
+// setupEngine builds and seeds the engine-side machine for s without running
+// it. Every driver-scheduled input (DMA writes, spurious-wake faults) goes
+// through the machine's checkpointable injection APIs, so a snapshot taken at
+// any point of the run restores into a fresh setupEngine machine with nothing
+// left dangling — this is what lets the restore-equivalence and bisection
+// harnesses rebuild a run mid-flight.
+func setupEngine(s *progen.Spec, tr *trace.Tracer) (*machine.Machine, *core.Core, refmodel.Config, error) {
 	opts := []machine.Option{
 		machine.WithThreads(s.Threads),
 		machine.WithSMTSlots(s.Slots),
@@ -140,43 +182,12 @@ func runEngineHook(s *progen.Spec, tr *trace.Tracer, invariant bool) (*outcome, 
 		WarmAccess:   int64(h.L1.HitCycles),
 	}
 
-	out := &outcome{fatalPTID: -1, mem: make(map[int64]int64)}
-	c.OnFatal = func(p hwthread.PTID, f *hwthread.Fault) {
-		if !out.fatal {
-			out.fatal = true
-			out.fatalPTID = int(p)
-			out.fatalInfo = f.Info
-		}
-	}
-
-	// Engine-side structural invariant, sampled during execution: pipeline
-	// membership must exactly mirror the runnable set.
-	var invErr error
-	if invariant {
-		execs := 0
-		c.OnExec = func(hwthread.PTID, int64, isa.Instr, sim.Cycles) {
-			execs++
-			if invErr != nil || execs%64 != 0 {
-				return
-			}
-			for _, ctx := range c.Threads().Contexts() {
-				in := c.Pipeline().Contains(int(ctx.PTID))
-				want := ctx.State == hwthread.Runnable
-				if in != want {
-					invErr = fmt.Errorf("engine invariant: ptid %d state %v but pipeline membership %v at cycle %d",
-						ctx.PTID, ctx.State, in, m.Now())
-					return
-				}
-			}
-		}
-	}
-
 	for _, mi := range s.Mem {
 		m.Mem().Write(mi.Addr, mi.Val, mem.SrcCPU)
 	}
 	for p := 0; p < s.Threads; p++ {
 		if err := c.BindProgram(hwthread.PTID(p), s.Prog, progen.EntryLabel(p)); err != nil {
-			return nil, cfg, err
+			return nil, nil, cfg, err
 		}
 	}
 	for _, r := range s.Regs {
@@ -188,30 +199,34 @@ func runEngineHook(s *progen.Spec, tr *trace.Tracer, invariant bool) (*outcome, 
 	// DMA events are scheduled before boot so their tie-break sequence
 	// numbers precede every exec event's, matching refmodel.ScheduleDMA.
 	for _, d := range s.DMA {
-		d := d
-		m.Shard(0).At(sim.Cycles(d.At), "dma", func() {
-			m.Mem().Write(d.Addr, d.Val, mem.SrcDMA)
-		})
+		m.ScheduleDMAWrite(0, sim.Cycles(d.At), d.Addr, d.Val)
 	}
 	// Fault events go after DMA and before boot, mirroring the refmodel's
 	// ScheduleDMA-then-ScheduleFaults seq assignment, so same-cycle
 	// tie-breaking agrees between the two sides.
 	for _, f := range s.Faults {
-		f := f
-		m.Shard(0).At(sim.Cycles(f.At), "fault-wake", func() {
-			c.InjectSpuriousWake(hwthread.PTID(f.PTID))
-		})
+		m.ScheduleSpuriousWake(0, sim.Cycles(f.At), hwthread.PTID(f.PTID))
 	}
 	for _, p := range s.Boot {
 		if err := c.BootStart(hwthread.PTID(p)); err != nil {
-			return nil, cfg, err
+			return nil, nil, cfg, err
 		}
 	}
-	m.RunUntil(sim.Cycles(s.Deadline))
-	if invErr != nil {
-		return nil, cfg, invErr
-	}
+	return m, c, cfg, nil
+}
 
+// captureOutcome reads the engine machine's architectural outcome at its
+// current simulated time. It is pure observation — state-based, using
+// core.FatalInfo rather than an OnFatal callback — so it works identically on
+// a straight-through machine and on one rebuilt from a snapshot (a restored
+// run cannot replay callbacks that fired before the checkpoint).
+func captureOutcome(s *progen.Spec, m *machine.Machine, c *core.Core) *outcome {
+	out := &outcome{fatalPTID: -1, mem: make(map[int64]int64)}
+	if p, f := c.FatalInfo(); f != nil {
+		out.fatal = true
+		out.fatalPTID = int(p)
+		out.fatalInfo = f.Info
+	}
 	for _, ctx := range c.Threads().Contexts() {
 		var st uint8
 		switch ctx.State {
@@ -241,11 +256,26 @@ func runEngineHook(s *progen.Spec, tr *trace.Tracer, invariant bool) (*outcome, 
 	out.retired = c.Retired()
 	out.starts = c.Starts()
 	out.wakeups, out.immediat, _ = m.Monitor().Stats()
-	return out, cfg, nil
+	return out
 }
 
 // runRef sets up and runs the reference interpreter.
 func runRef(s *progen.Spec, cfg refmodel.Config) (*outcome, error) {
+	it, err := setupRef(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	it.Run(s.Deadline)
+	if err := it.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("refmodel invariant (seed %d): %w", s.Seed, err)
+	}
+	return captureRef(s, it), nil
+}
+
+// setupRef builds and seeds the reference interpreter for s without running
+// it, mirroring setupEngine's input order exactly (DMA before faults before
+// boot) so same-cycle tie-breaking agrees between the two sides.
+func setupRef(s *progen.Spec, cfg refmodel.Config) (*refmodel.Interp, error) {
 	it := refmodel.New(cfg)
 	for _, mi := range s.Mem {
 		it.Poke(mi.Addr, mi.Val)
@@ -280,11 +310,12 @@ func runRef(s *progen.Spec, cfg refmodel.Config) (*outcome, error) {
 			return nil, err
 		}
 	}
-	it.Run(s.Deadline)
-	if err := it.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("refmodel invariant (seed %d): %w", s.Seed, err)
-	}
+	return it, nil
+}
 
+// captureRef reads the reference interpreter's architectural outcome at its
+// current simulated time, shaped identically to captureOutcome's.
+func captureRef(s *progen.Spec, it *refmodel.Interp) *outcome {
 	out := &outcome{fatalPTID: -1, mem: make(map[int64]int64)}
 	if f := it.Fatal(); f != nil {
 		out.fatal = true
@@ -313,7 +344,7 @@ func runRef(s *progen.Spec, cfg refmodel.Config) (*outcome, error) {
 	out.starts = it.Resumes
 	out.wakeups = it.MonWakeups
 	out.immediat = it.MonImmediate
-	return out, nil
+	return out
 }
 
 // compare lists every field where the two outcomes differ. The engine is

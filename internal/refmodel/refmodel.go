@@ -158,12 +158,17 @@ type Thread struct {
 	// Monitor state. armTick records the global write-tick at which each
 	// watch was armed, so the lost-wakeup invariant can order arms against
 	// writes exactly even within one cycle.
-	armed     map[int64]bool
-	armTick   map[int64]uint64
-	pending   bool
-	pAddr     int64
-	pVal      int64
-	waitStart int64 // when the current mwait began
+	armed   map[int64]bool
+	armTick map[int64]uint64
+	pending bool
+	pAddr   int64
+	pVal    int64
+	// shadowPending tracks what pending WOULD be without the
+	// DropPendingWakeups mutation, so the first architecturally visible
+	// effect of the mutation (an mwait that blocks instead of completing
+	// immediately) can be pinned to an exact cycle.
+	shadowPending bool
+	waitStart     int64 // when the current mwait began
 
 	// TDT translation cache: rows are cached even when invalid.
 	tdtCache map[int64]tdtEntry
@@ -220,6 +225,15 @@ type Interp struct {
 
 	fatal *Fatal
 
+	// FirstMutationEffect is the first cycle at which an enabled mutation knob
+	// visibly changed this run's behavior (-1 while it never did). For
+	// DropPendingWakeups that is the first mwait which would have consumed a
+	// buffered wakeup but blocks instead; for SwallowInjectedWakes, the first
+	// swallowed fault event that would have woken a waiting thread. The
+	// bisection harness uses this as ground truth for its reported
+	// first-divergent-cycle.
+	FirstMutationEffect int64
+
 	// Machine-level counters mirrored from the engine.
 	Resumes      uint64 // core "starts": boot + start + wake scheduling
 	RetiredTotal uint64
@@ -244,11 +258,12 @@ func New(cfg Config) *Interp {
 		cfg.LineBytes = 64
 	}
 	it := &Interp{
-		cfg:           cfg,
-		mem:           make(map[int64]int64),
-		seen:          make(map[int64]bool),
-		byAddr:        make(map[int64][]int),
-		lastWriteTick: make(map[int64]uint64),
+		cfg:                 cfg,
+		mem:                 make(map[int64]int64),
+		seen:                make(map[int64]bool),
+		byAddr:              make(map[int64][]int),
+		lastWriteTick:       make(map[int64]uint64),
+		FirstMutationEffect: -1,
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		it.threads = append(it.threads, &Thread{
@@ -346,6 +361,11 @@ func (it *Interp) Run(deadline int64) {
 			it.faultDone[idx] = true
 			if !it.cfg.SwallowInjectedWakes {
 				it.spuriousWake(it.faults[idx].PTID)
+			} else if t := it.Thread(it.faults[idx].PTID); t != nil &&
+				t.State == StWaiting && !t.halted && it.FirstMutationEffect < 0 {
+				// The unmutated model would wake this thread now; swallowing
+				// the event is the mutation's first visible effect.
+				it.FirstMutationEffect = it.now
 			}
 			continue
 		}
@@ -483,6 +503,8 @@ func (it *Interp) write(addr, val int64) {
 		} else if !it.cfg.DropPendingWakeups {
 			t.pending = true
 			t.pAddr, t.pVal = addr, val
+		} else {
+			t.shadowPending = true
 		}
 	}
 	for _, p := range toWake {
@@ -546,6 +568,7 @@ func (it *Interp) disarm(t *Thread) {
 	t.armed = make(map[int64]bool)
 	t.armTick = make(map[int64]uint64)
 	t.pending = false
+	t.shadowPending = false
 }
 
 // privileged is the independently encoded §3.2 supervisor-only set.
@@ -791,6 +814,15 @@ func (it *Interp) step(t *Thread) {
 			t.Wakeups++
 			it.schedule(t, it.charged(t, base+it.cfg.ThreadOp))
 			return
+		}
+		if t.shadowPending {
+			// Without the DropPendingWakeups mutation this mwait would have
+			// completed immediately off the buffered wake; blocking here is the
+			// mutation's first visible divergence from the engine.
+			if it.FirstMutationEffect < 0 {
+				it.FirstMutationEffect = it.now
+			}
+			t.shadowPending = false
 		}
 		t.State = StWaiting
 		t.waitStart = it.now

@@ -1,0 +1,71 @@
+package statestore
+
+import (
+	"fmt"
+	"sort"
+
+	"nocs/internal/sim"
+	"nocs/internal/snapshot"
+)
+
+// Checkpoint support (DESIGN.md §13). Placement is timing-visible — which
+// tier a thread's state lives in decides its next start latency, and LRU
+// timestamps decide who gets demoted — so entries round-trip exactly. The
+// fault injector is machine-owned and checkpointed separately.
+
+// SnapshotState writes every entry (sorted by id), tier occupancy, and the
+// cumulative counters.
+func (s *Store) SnapshotState(w *snapshot.W) {
+	ids := make([]int, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.Len(len(ids))
+	for _, id := range ids {
+		e := s.entries[id]
+		w.I64(int64(e.id)).I64(int64(e.bytes)).U8(uint8(e.tier))
+		w.I64(int64(e.lastUse)).I64(int64(e.prefetchReady)).Bool(e.pinned)
+	}
+	w.U64(s.promotions).U64(s.demotions).U64(s.prefetches)
+	w.U64(s.prefetchHits).U64(s.dramStarts)
+	w.U64(s.xferRetries).U64(s.tierFallbacks)
+}
+
+// RestoreState replaces the store's entries and counters with the
+// checkpoint's, recomputing tier occupancy.
+func (s *Store) RestoreState(r *snapshot.R) error {
+	n := r.Len(20)
+	entries := make(map[int]*entry, n)
+	var used [numTiers]int
+	for i := 0; i < n; i++ {
+		e := &entry{
+			id:    int(r.I64()),
+			bytes: int(r.I64()),
+			tier:  Tier(r.U8()),
+		}
+		e.lastUse = sim.Cycles(r.I64())
+		e.prefetchReady = sim.Cycles(r.I64())
+		e.pinned = r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if e.tier < TierRF || e.tier >= numTiers {
+			return fmt.Errorf("statestore: snapshot entry %d has invalid tier %d", e.id, e.tier)
+		}
+		entries[e.id] = e
+		used[e.tier] += e.bytes
+	}
+	promotions, demotions := r.U64(), r.U64()
+	prefetches, prefetchHits, dramStarts := r.U64(), r.U64(), r.U64()
+	xferRetries, tierFallbacks := r.U64(), r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.entries = entries
+	s.used = used
+	s.promotions, s.demotions = promotions, demotions
+	s.prefetches, s.prefetchHits, s.dramStarts = prefetches, prefetchHits, dramStarts
+	s.xferRetries, s.tierFallbacks = xferRetries, tierFallbacks
+	return nil
+}

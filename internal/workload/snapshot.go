@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"nocs/internal/sim"
+	"nocs/internal/snapshot"
+)
+
+// Checkpoint support (DESIGN.md §13). A workload's only dynamic state is the
+// generator RNG cursor — every distribution in this package draws from a
+// caller-owned sim.RNG and keeps nothing else between samples — plus the
+// requests already materialized by Generate, which the queueing servers
+// serialize with the Request codec below.
+
+// SnapshotState writes one request.
+func (r Request) SnapshotState(w *snapshot.W) {
+	w.I64(int64(r.ID)).I64(int64(r.Arrival)).I64(int64(r.Demand))
+}
+
+// RestoreRequest reads one request written by Request.SnapshotState.
+func RestoreRequest(r *snapshot.R) Request {
+	return Request{ID: int(r.I64()), Arrival: sim.Cycles(r.I64()), Demand: sim.Cycles(r.I64())}
+}
+
+// SnapshotRNG writes a generator cursor: the entire dynamic state of every
+// arrival process and service distribution drawing from rng.
+func SnapshotRNG(w *snapshot.W, rng *sim.RNG) { w.U64(rng.State()) }
+
+// RestoreRNG restores a generator cursor written by SnapshotRNG.
+func RestoreRNG(r *snapshot.R, rng *sim.RNG) { rng.SetState(r.U64()) }

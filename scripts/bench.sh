@@ -9,12 +9,14 @@
 #    clock vs the serial oracle at equal seeds and byte-identical output.
 #    The speedup is bounded by the host's real CPU count (GOMAXPROCS).
 # 4. Runs the repository testing.B benchmarks with -benchmem.
-# 5. Emits BENCH_3.json: per-experiment ns/op, B/op, allocs/op (plus
+# 5. Emits BENCH_4.json: per-experiment ns/op, B/op, allocs/op (plus
 #    sim-instrs/op and sim-instrs/sec where a benchmark reports them), the
 #    wall times, the headline instructions_per_sec figure (sustained
-#    simulated-instruction rate from CoreInstructionRate), and the
-#    parallel_speedup block, so the next hot-path PR starts from numbers,
-#    not guesses.
+#    simulated-instruction rate from CoreInstructionRate), the
+#    parallel_speedup block, and the snapshot block (checkpoint
+#    serialize/restore throughput in MB/s and ns per checkpoint, from
+#    BenchmarkSnapshotEncode/BenchmarkSnapshotRestore), so the next
+#    hot-path PR starts from numbers, not guesses.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x (default) controls -benchtime; set e.g. BENCHTIME=2s for
@@ -23,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_4.json}
 BENCHTIME=${BENCHTIME:-1x}
 GOLDEN=results_full.txt
 TMP=$(mktemp -d)
@@ -88,17 +90,20 @@ BEGIN { n = 0; ips = "" }
     name = $1
     sub(/-[0-9]+$/, "", name)
     sub(/^Benchmark/, "", name)
-    ns = ""; bytes = ""; allocs = ""; instrs = ""; rate = ""
+    ns = ""; bytes = ""; allocs = ""; instrs = ""; rate = ""; mbs = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")          ns = $(i-1)
         if ($i == "B/op")           bytes = $(i-1)
         if ($i == "allocs/op")      allocs = $(i-1)
         if ($i == "sim-instrs/op")  instrs = $(i-1)
         if ($i == "sim-instrs/sec") rate = $(i-1)
+        if ($i == "MB/s")           mbs = $(i-1)
     }
     names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs
     sis[n] = instrs; srs[n] = rate; n++
     if (name == "CoreInstructionRate" && rate != "") ips = rate
+    if (name == "SnapshotEncode")  { snap_enc_mbs = mbs; snap_enc_ns = ns }
+    if (name == "SnapshotRestore") { snap_res_mbs = mbs; snap_res_ns = ns }
 }
 END {
     printf "{\n"
@@ -114,6 +119,11 @@ END {
         scale_serial_ms == "" ? "null" : scale_serial_ms, \
         scale_parallel_ms == "" ? "null" : scale_parallel_ms, \
         scale_ips == "" ? "null" : scale_ips
+    printf "  \"snapshot\": {\"encode_mb_per_sec\": %s, \"encode_ns_per_checkpoint\": %s, \"restore_mb_per_sec\": %s, \"restore_ns_per_checkpoint\": %s},\n", \
+        snap_enc_mbs == "" ? "null" : snap_enc_mbs, \
+        snap_enc_ns == "" ? "null" : snap_enc_ns, \
+        snap_res_mbs == "" ? "null" : snap_res_mbs, \
+        snap_res_ns == "" ? "null" : snap_res_ns
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \

@@ -9,10 +9,14 @@
 #   5. fuzz smoke      — 10s of coverage-guided fuzzing per fuzz target,
 #                        on top of the checked-in corpora
 #   6. diff sweep      — 200 fresh seeds through the engine-vs-reference
-#                        differential harness (DESIGN.md §9)
-#   7. faulted sweep   — 100 seeds with injected fault schedules, plus the
-#                        planted fault-swallowing mutation that the sweep
-#                        must catch (DESIGN.md §10)
+#                        differential harness (DESIGN.md §9), each seed also
+#                        checkpointed/restored mid-run (restore-equivalence)
+#   7. faulted sweep   — 100 seeds with injected fault schedules, their
+#                        restore-equivalence variant, the planted
+#                        fault-swallowing mutation that the sweep must catch
+#                        (DESIGN.md §10), and the diff-bisection harness
+#                        localizing a planted mutation to its exact first
+#                        divergent cycle (DESIGN.md §13)
 #   8. fault package   — go vet + race-enabled unit tests for
 #                        internal/faultinject
 #   9. allocation gate — CoreInstructionRate + F7_TailLatency allocs/op must
@@ -23,7 +27,11 @@
 #                        internally unless the sharded scheduler's output is
 #                        byte-identical to the serial oracle, so scheduler
 #                        regressions fail fast here
-#  11. golden diff     — `nocsim -all` must be byte-identical to the
+#  11. snapshot golden — a quick checkpointed endurance run (`nocsim
+#                        -endurance`): resuming from the last emitted
+#                        checkpoint must reproduce the straight-through
+#                        run's summary and hash exactly
+#  12. golden diff     — `nocsim -all` must be byte-identical to the
 #                        committed results_full.txt (skip with SKIP_GOLDEN=1
 #                        when the caller performs its own golden run)
 #
@@ -53,13 +61,16 @@ go test -race ./...
 echo "== fuzz smoke (10s per target) =="
 go test -run '^$' -fuzz '^FuzzAsmParse$' -fuzztime 10s ./internal/asm
 go test -run '^$' -fuzz '^FuzzTraceRoundTrip$' -fuzztime 10s ./internal/trace
+go test -run '^$' -fuzz '^FuzzSnapshotRoundTrip$' -fuzztime 10s ./internal/snapshot
 
-echo "== differential sweep (200 seeds) =="
-NOCS_DIFF_N=200 go test -count=1 -run '^TestDifferentialSweep$' ./internal/refmodel/diff
+echo "== differential sweep (200 seeds) + restore equivalence =="
+NOCS_DIFF_N=200 go test -count=1 \
+    -run '^(TestDifferentialSweep|TestRestoreEquivalenceSweep)$' \
+    ./internal/refmodel/diff
 
-echo "== faulted differential sweep (100 seeds) + planted mutation =="
+echo "== faulted differential sweep (100 seeds) + planted mutation + bisection =="
 NOCS_DIFF_N=100 go test -count=1 \
-    -run '^(TestFaultedDifferentialSweep|TestFaultMutationIsCaught)$' \
+    -run '^(TestFaultedDifferentialSweep|TestFaultMutationIsCaught|TestFaultedRestoreEquivalenceSweep|TestBisectLocalizesPlantedMutation)$' \
     ./internal/refmodel/diff
 
 echo "== fault-injection package (vet + race) =="
@@ -90,6 +101,23 @@ awk '
 echo "== sharded golden: nocsim -scale -quick (serial vs sharded byte-identity) =="
 go build -o "$TMP/nocsim" ./cmd/nocsim
 "$TMP/nocsim" -scale -quick -shards 4 -workers 4 | grep '^S1 stats:'
+
+echo "== snapshot golden: nocsim -endurance checkpoint/resume hash identity =="
+"$TMP/nocsim" -endurance -quick -checkpoint-every 30000 \
+    -checkpoint "$TMP/e1.ckpt" > "$TMP/e1.txt" 2>/dev/null
+"$TMP/nocsim" -endurance -quick -resume "$TMP/e1.ckpt" > "$TMP/e1_resume.txt" 2>/dev/null
+grep '^E1 stats:' "$TMP/e1.txt" "$TMP/e1_resume.txt" | sed 's/^/   /'
+if ! diff -u <(grep -v '^E1 stats:' "$TMP/e1.txt") \
+             <(grep -v '^E1 stats:' "$TMP/e1_resume.txt"); then
+    echo "FAIL: resumed endurance summary differs from straight-through run" >&2
+    exit 1
+fi
+h0=$(grep -o 'hash=[0-9a-f]*' "$TMP/e1.txt")
+h1=$(grep -o 'hash=[0-9a-f]*' "$TMP/e1_resume.txt")
+if [ -z "$h0" ] || [ "$h0" != "$h1" ]; then
+    echo "FAIL: resume hash ${h1:-<none>} != straight-through hash ${h0:-<none>}" >&2
+    exit 1
+fi
 
 if [ "${SKIP_GOLDEN:-0}" != "1" ]; then
     echo "== determinism: nocsim -all vs results_full.txt =="
