@@ -14,6 +14,8 @@
 //	nocsim -exp F1 -trace f1.json       # cycle trace, open at ui.perfetto.dev
 //	nocsim -scale             # S1: one 64-core machine across real CPUs
 //	nocsim -scale -cores 256 -workers 8 # bigger machine, explicit workers
+//	nocsim -locks             # L1: lock contention, nocs vs legacy parking
+//	nocsim -locks -quick      # CI-sized contention sweep
 //	nocsim -endurance -checkpoint-every 100000 -checkpoint run.ckpt
 //	                          # E1 endurance run, periodic machine checkpoints
 //	nocsim -endurance -resume run.ckpt  # warm-start from the last checkpoint
@@ -55,6 +57,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (open at ui.perfetto.dev); forces -parallel 1")
 		faults     = flag.String("faults", "", `fault-injection plan for fault-aware experiments (F2, F16): "default" arms the standard seeded plan, "" runs fault-free`)
 		scale      = flag.Bool("scale", false, "run S1, the sharded-scheduler scaling experiment: one many-core machine executed serially, then across -workers real CPUs, with a byte-identity check between the two")
+		locks      = flag.Bool("locks", false, "run L1, the lock-contention experiment: every internal/sync primitive×flavor cell swept across ptid counts, hold lengths, and SMT slots, plus a shard-determinism check")
 		endurance  = flag.Bool("endurance", false, "run E1, the checkpointed endurance workload: a snapshot-complete token-ring machine whose full state can be serialized mid-run (-checkpoint-every) and warm-started later (-resume)")
 		horizon    = flag.Int64("horizon", 0, "simulated cycles for -endurance (default 400000, or 100000 with -quick)")
 		ckptEvery  = flag.Int64("checkpoint-every", 0, "serialize a machine checkpoint every N simulated cycles during -endurance (0 disables)")
@@ -142,6 +145,24 @@ func main() {
 		fmt.Printf("E1 stats: cores=%d shards=%d workers=%d horizon=%d checkpoints=%d ckpt_bytes=%d resumed=%v hash=%016x\n",
 			stats.Cores, stats.Shards, stats.Workers, stats.Horizon,
 			stats.Checkpoints, stats.CheckpointBytes, stats.Resumed, stats.Hash)
+		return
+	}
+
+	if *locks {
+		res, stats, err := bench.RunLocks(bench.RunConfig{Seed: *seed, Quick: *quick},
+			bench.DefaultLockConfig(*quick))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locks: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		for _, r := range stats.Rows {
+			fmt.Printf("L1 stats: cell=%s ptids=%d slots=%d hold=%s acq=%d p50=%d p99=%d handoff=%.1f starve=%d spread=%d done=%d\n",
+				r.Cell, r.Ptids, r.Slots, r.Hold, r.Acq, r.P50, r.P99,
+				r.HandoffMean, r.StarveMax, r.Spread, r.DoneAt)
+		}
+		fmt.Printf("L1 shards: shards=1,2,4 workers=%d identical=true hash=%016x speedup=%.2f\n",
+			stats.ShardWorkers, stats.ShardHash, stats.ShardSpeedup)
 		return
 	}
 

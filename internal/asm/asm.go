@@ -297,6 +297,39 @@ func (p *parser) parseInstr(s string) error {
 		}
 		p.b.Emit(isa.Instr{Op: op, Rs1: base, Imm: off, Rs2: rs})
 
+	case isa.XCHG:
+		if err := p.wantOperands(ops, 2, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := p.mem(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: base, Imm: off})
+
+	case isa.FAA, isa.CAS:
+		// faa/cas <rd>, [base+off], <rs2>
+		if err := p.wantOperands(ops, 3, mnemonic); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := p.mem(ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := p.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		p.b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: base, Imm: off, Rs2: rs2})
+
 	case isa.JMP:
 		if err := p.wantOperands(ops, 1, mnemonic); err != nil {
 			return err

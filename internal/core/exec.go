@@ -372,6 +372,27 @@ func (c *Core) execOne(t *hwthread.Context) (sim.Cycles, bool) {
 		extra += c.hier.AccessCycles(addr)
 		c.WriteWord(addr, r.Get(in.Rs2))
 
+	case isa.XCHG:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += c.hier.AccessCycles(addr)
+		old := c.mem.Read(addr)
+		c.WriteWord(addr, r.Get(in.Rd))
+		r.Set(in.Rd, old)
+	case isa.FAA:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += c.hier.AccessCycles(addr)
+		old := c.mem.Read(addr)
+		c.WriteWord(addr, old+r.Get(in.Rs2))
+		r.Set(in.Rd, old)
+	case isa.CAS:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += c.hier.AccessCycles(addr)
+		old := c.mem.Read(addr)
+		if old == r.Get(in.Rd) {
+			c.WriteWord(addr, r.Get(in.Rs2))
+		}
+		r.Set(in.Rd, old)
+
 	case isa.JMP:
 		nextPC = in.Imm
 	case isa.JAL:

@@ -89,6 +89,16 @@ const (
 	// Simulator pseudo-instruction: invoke registered native handler Sym.
 	NATIVE
 
+	// Atomic read-modify-write memory ops (synchronization, DESIGN.md §14).
+	// Every instruction executes atomically in virtual time, so these are
+	// atomic by construction; they exist so lock algorithms can express
+	// swap/fetch-add/compare-swap as single instructions the way real
+	// hardware does, and so a release store wakes monitor waiters exactly
+	// like ST.
+	XCHG // rd ↔ mem[rs1 + imm] (swap)
+	FAA  // rd = mem[rs1 + imm]; mem[rs1 + imm] += rs2 (fetch-and-add)
+	CAS  // if mem[rs1 + imm] == rd: mem[rs1 + imm] = rs2; rd = old value
+
 	numOps // sentinel
 )
 
@@ -105,6 +115,7 @@ var opNames = [...]string{
 	SYSCALL: "syscall", SYSRET: "sysret", VMCALL: "vmcall", VMRESUME: "vmresume",
 	INT: "int", IRET: "iret", WRMSR: "wrmsr", RDMSR: "rdmsr", HLT: "hlt",
 	NATIVE: "native",
+	XCHG:   "xchg", FAA: "faa", CAS: "cas",
 }
 
 // String returns the assembler mnemonic for the opcode.
@@ -168,7 +179,7 @@ func (o Op) Latency() int {
 		return 3
 	case FMUL:
 		return 4
-	case LD, ST:
+	case LD, ST, XCHG, FAA, CAS:
 		return 1 // plus cache hierarchy time
 	default:
 		return 1

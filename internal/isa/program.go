@@ -46,6 +46,10 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s %v, [%v+%d]", in.Op, in.Rd, in.Rs1, in.Imm)
 	case ST:
 		return fmt.Sprintf("%s [%v+%d], %v", in.Op, in.Rs1, in.Imm, in.Rs2)
+	case XCHG:
+		return fmt.Sprintf("%s %v, [%v+%d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FAA, CAS:
+		return fmt.Sprintf("%s %v, [%v+%d], %v", in.Op, in.Rd, in.Rs1, in.Imm, in.Rs2)
 	case JMP:
 		return fmt.Sprintf("%s %s", in.Op, target())
 	case JAL:
@@ -211,6 +215,15 @@ func (b *Builder) Ld(rd, base Reg, off int64) *Builder {
 }
 func (b *Builder) St(base Reg, off int64, rs Reg) *Builder {
 	return b.Emit(Instr{Op: ST, Rs1: base, Imm: off, Rs2: rs})
+}
+func (b *Builder) Xchg(rd, base Reg, off int64) *Builder {
+	return b.Emit(Instr{Op: XCHG, Rd: rd, Rs1: base, Imm: off})
+}
+func (b *Builder) Faa(rd, base Reg, off int64, rs Reg) *Builder {
+	return b.Emit(Instr{Op: FAA, Rd: rd, Rs1: base, Imm: off, Rs2: rs})
+}
+func (b *Builder) Cas(rd, base Reg, off int64, rs Reg) *Builder {
+	return b.Emit(Instr{Op: CAS, Rd: rd, Rs1: base, Imm: off, Rs2: rs})
 }
 func (b *Builder) Jmp(label string) *Builder { return b.EmitRef(Instr{Op: JMP}, label) }
 func (b *Builder) Beq(rs1, rs2 Reg, label string) *Builder {

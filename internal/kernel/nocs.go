@@ -22,6 +22,7 @@ type Nocs struct {
 	DispatchCost sim.Cycles
 
 	table     map[int64]SyscallFn
+	btable    map[int64]BlockingSyscallFn
 	nextPtid  hwthread.PTID
 	syscalls  uint64
 	unknown   uint64
@@ -42,6 +43,7 @@ func NewNocs(c *core.Core) *Nocs {
 		c:            c,
 		DispatchCost: 50,
 		table:        make(map[int64]SyscallFn),
+		btable:       make(map[int64]BlockingSyscallFn),
 		nextPtid:     hwthread.PTID(c.Threads().Len() - 1),
 	}
 }
@@ -51,6 +53,33 @@ func (k *Nocs) Core() *core.Core { return k.c }
 
 // RegisterSyscall binds number to fn (shared table with ServeSyscalls).
 func (k *Nocs) RegisterSyscall(num int64, fn SyscallFn) { k.table[num] = fn }
+
+// BlockingSyscallFn is a syscall that may park its caller: returning
+// park=true leaves the calling thread disabled (it was disabled by the
+// SYSCALL descriptor write) instead of restarting it — the exception-less
+// blocking path. A later Unpark resumes it. park=false behaves exactly
+// like a plain syscall.
+type BlockingSyscallFn func(t *hwthread.Context, args [4]int64) (park bool, ret int64, cost sim.Cycles)
+
+// RegisterBlockingSyscall binds number to a syscall that may park its
+// caller (futex-style waits, DESIGN.md §14).
+func (k *Nocs) RegisterBlockingSyscall(num int64, fn BlockingSyscallFn) { k.btable[num] = fn }
+
+// Unpark resumes a thread parked by a blocking syscall: after the given
+// delay its r1 is set to ret and it is restarted. The ptid must still be
+// disabled when the delay elapses (nothing else restarts parked callers).
+func (k *Nocs) Unpark(p hwthread.PTID, ret int64, after sim.Cycles) {
+	user := k.c.Threads().Context(p)
+	if user == nil {
+		panic(fmt.Sprintf("kernel: unpark of unknown ptid %d", p))
+	}
+	k.c.Shard().After(after, "syscall-unpark", func() {
+		user.Regs.GPR[1] = ret
+		if err := k.c.StartThreadSupervised(p); err != nil {
+			panic(err)
+		}
+	})
+}
 
 // Syscalls returns (handled, unknown) counts.
 func (k *Nocs) Syscalls() (handled, unknown uint64) { return k.syscalls, k.unknown }
@@ -182,6 +211,24 @@ func (k *Nocs) ServeSyscalls(users []hwthread.PTID, descBase int64) (hwthread.PT
 			cost += k.DispatchCost
 			user := k.c.Threads().Context(u)
 			args := [4]int64{user.Regs.GPR[2], user.Regs.GPR[3], user.Regs.GPR[4], user.Regs.GPR[5]}
+			if bfn, ok := k.btable[d.Info]; ok {
+				park, ret, sysCost := bfn(user, args)
+				cost += sysCost
+				k.syscalls++
+				if park {
+					// The caller stays disabled until Unpark; blocking cost
+					// one descriptor write, not a context switch.
+					continue
+				}
+				cost += k.c.Costs().ThreadOp
+				k.c.Shard().After(cost, "syscall-done", func() {
+					user.Regs.GPR[1] = ret
+					if err := k.c.StartThreadSupervised(u); err != nil {
+						panic(err)
+					}
+				})
+				continue
+			}
 			fn, ok := k.table[d.Info]
 			ret := int64(-1)
 			if ok {

@@ -44,6 +44,21 @@ type Bias struct {
 	// a zero value (the DefaultBias case) leaves every existing seed's
 	// program byte-identical.
 	SpuriousWakes float64
+	// Locks switches generation to the lock-program family (locks.go): a
+	// contention program over one internal/sync primitive instead of the
+	// role-based soup. Gated before any RNG draw, so a zero value — the
+	// DefaultBias/FaultBias case — leaves every existing seed's program
+	// byte-identical.
+	Locks float64
+	// LockHandoffRace staggers lock-program arrivals so releases land while
+	// the next waiter is between its monitor arm and mwait.
+	LockHandoffRace float64
+	// LockConvoy gives one lock-program thread long critical sections while
+	// the rest pile up behind it.
+	LockConvoy float64
+	// LockMissedSignal times cond-var signals into the window between a
+	// waiter's sequence snapshot and its wait.
+	LockMissedSignal float64
 	// Supervisor adds a Mode=1 handler thread that fields a victim's
 	// exception descriptors and restarts it.
 	Supervisor float64
@@ -120,6 +135,12 @@ type gen struct {
 // (seed, b) and always assembles; an assembly failure is a progen bug.
 func Generate(seed uint64, b Bias) (*Spec, error) {
 	g := &gen{rng: sim.NewRNG(seed), b: b}
+	// The lock-program gate comes before every other draw; the short-circuit
+	// keeps a zero Locks bias from consuming RNG state, so all pre-existing
+	// seed outputs stay byte-identical.
+	if b.Locks > 0 && g.chance(b.Locks) {
+		return g.generateLocks(seed)
+	}
 	g.threads = 2 + g.rng.Intn(7) // 2..8
 
 	s := &Spec{

@@ -21,6 +21,11 @@ type Spec struct {
 	Slots    int
 	Deadline int64
 
+	// Lock names the synchronization-primitive cell of a lock program
+	// ("kind/flavor", e.g. "mcs/nocs"); empty for soup programs. Carried in
+	// a `; nocs-lock` directive so repro dumps are self-describing.
+	Lock string
+
 	// Source is the assembly text; Prog is its assembled form. Thread i's
 	// entry point is the label "t<i>".
 	Source string
@@ -115,6 +120,9 @@ func (s *Spec) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "; nocs-diff v1 seed=%d threads=%d slots=%d deadline=%d\n",
 		s.Seed, s.Threads, s.Slots, s.Deadline)
+	if s.Lock != "" {
+		fmt.Fprintf(&b, "; nocs-lock %s\n", strings.ReplaceAll(s.Lock, "/", " "))
+	}
 	if len(s.Boot) > 0 {
 		b.WriteString("; nocs-boot")
 		for _, p := range s.Boot {
@@ -272,6 +280,11 @@ func (s *Spec) parseDirective(fields []string) error {
 			return fmt.Errorf("bad nocs-dma %v", fields[1:])
 		}
 		s.DMA = append(s.DMA, DMA{At: at, Addr: a, Val: v})
+	case "nocs-lock":
+		if len(fields) != 3 {
+			return fmt.Errorf("nocs-lock needs kind and flavor")
+		}
+		s.Lock = fields[1] + "/" + fields[2]
 	case "nocs-fault":
 		if len(fields) != 3 {
 			return fmt.Errorf("nocs-fault needs at and ptid")

@@ -36,6 +36,11 @@ type Options struct {
 	// on the ref side only, so the faulted sweep must diverge on programs
 	// whose fault schedule lands on a blocked thread.
 	SwallowInjectedWakes bool
+	// LIFOHandoff enables the reference model's handoff-ordering mutation
+	// (DESIGN.md §14): multi-waiter monitor wakes deliver in reverse arm
+	// order, so the lock-ordering sweep must diverge on programs where
+	// several waiters park on one word.
+	LIFOHandoff bool
 }
 
 // Result is the comparison outcome for one spec.
@@ -97,6 +102,7 @@ func Run(s *progen.Spec, opt Options) (*Result, error) {
 	}
 	cfg.DropPendingWakeups = opt.DropPendingWakeups
 	cfg.SwallowInjectedWakes = opt.SwallowInjectedWakes
+	cfg.LIFOHandoff = opt.LIFOHandoff
 	ref, err := runRef(s, cfg)
 	if err != nil {
 		return nil, err

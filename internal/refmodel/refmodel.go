@@ -117,6 +117,15 @@ type Config struct {
 	// differential sweep must catch this as a divergence on any seed whose
 	// fault schedule actually lands on a blocked thread.
 	SwallowInjectedWakes bool
+
+	// LIFOHandoff is the handoff-ordering mutation knob (DESIGN.md §14):
+	// when set, a write that wakes several watchers delivers the wakes in
+	// reverse arm order — LIFO where the architecture guarantees FIFO. The
+	// wake order fixes the woken threads' event sequence numbers and with
+	// them every later lock-acquisition tie-break, so the lock-ordering
+	// differential sweep must catch this on any seed where two or more
+	// waiters park on one word.
+	LIFOHandoff bool
 }
 
 // DMAWrite is an externally scheduled device write (time, address, value).
@@ -507,6 +516,16 @@ func (it *Interp) write(addr, val int64) {
 			t.shadowPending = true
 		}
 	}
+	if it.cfg.LIFOHandoff && len(toWake) > 1 {
+		// The mutation's first visible effect is the first multi-waiter wake
+		// whose delivery order this reversal actually changes.
+		if it.FirstMutationEffect < 0 {
+			it.FirstMutationEffect = it.now
+		}
+		for i, j := 0, len(toWake)-1; i < j; i, j = i+1, j-1 {
+			toWake[i], toWake[j] = toWake[j], toWake[i]
+		}
+	}
 	for _, p := range toWake {
 		t := it.threads[p]
 		if t.State != StWaiting || t.halted {
@@ -758,6 +777,27 @@ func (it *Interp) step(t *Thread) {
 		addr := r.Get(in.Rs1) + in.Imm
 		extra += it.access(addr)
 		it.write(addr, r.Get(in.Rs2))
+
+	case isa.XCHG:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += it.access(addr)
+		old := it.mem[addr]
+		it.write(addr, r.Get(in.Rd))
+		r.Set(in.Rd, old)
+	case isa.FAA:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += it.access(addr)
+		old := it.mem[addr]
+		it.write(addr, old+r.Get(in.Rs2))
+		r.Set(in.Rd, old)
+	case isa.CAS:
+		addr := r.Get(in.Rs1) + in.Imm
+		extra += it.access(addr)
+		old := it.mem[addr]
+		if old == r.Get(in.Rd) {
+			it.write(addr, r.Get(in.Rs2))
+		}
+		r.Set(in.Rd, old)
 
 	case isa.JMP:
 		nextPC = in.Imm

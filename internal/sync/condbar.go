@@ -1,0 +1,91 @@
+package sync
+
+// CondVar is a condition variable over a sequence word at [Base+0].
+// Waiters snapshot the sequence while holding the associated mutex,
+// release the mutex, and block until the sequence moves; Signal bumps the
+// sequence with a FAA whose store is also the Nocs wakeup. The sequence
+// protocol makes the missed-signal race structurally impossible as long
+// as signals happen while the snapshot is still current — the property
+// the differential sweep's missed-signal bias hammers on.
+type CondVar struct {
+	F        Flavor
+	UseFutex bool
+}
+
+func (c CondVar) Kind() Kind     { return Cond }
+func (c CondVar) Flavor() Flavor { return c.F }
+
+// EmitSnapshot captures the current sequence into T4. Call while holding
+// the mutex that guards the condition.
+func (c CondVar) EmitSnapshot(g *Gen, r Regs) {
+	g.I("ld %s, [%s+0]", r.T4, r.Base)
+}
+
+// EmitWaitChanged blocks until the sequence differs from the T4 snapshot.
+// Call after releasing the mutex; reacquire it afterwards. The wait loop
+// re-arms the monitor before every re-check (a wake consumes the watch
+// set), so injected spurious wakes can cost a lap but never a signal.
+func (c CondVar) EmitWaitChanged(g *Gen, r Regs) {
+	if c.UseFutex {
+		loop := g.L("cwait")
+		done := g.L("csignal")
+		g.Label(loop)
+		g.I("ld %s, [%s+0]", r.T1, r.Base)
+		g.I("bne %s, %s, %s", r.T1, r.T4, done)
+		g.I("mov r2, %s", r.Base)
+		g.I("mov r3, %s", r.T4)
+		g.I("native %s", NativeFutexWait)
+		g.I("jmp %s", loop)
+		g.Label(done)
+		return
+	}
+	g.waitWhileEq(c.F, r.Base, r.T4, r.T1)
+}
+
+// EmitSignal advances the sequence, waking waiters. broadcast selects
+// wake-all for the futex-backed flavor (the store-based flavors always
+// wake every parked waiter — monitor wakeups have no selectivity).
+func (c CondVar) EmitSignal(g *Gen, r Regs, broadcast bool) {
+	g.I("movi %s, 1", r.T1)
+	g.I("faa %s, [%s+0], %s", r.T2, r.Base, r.T1)
+	if c.UseFutex {
+		n := 1
+		if broadcast {
+			n = 1 << 30
+		}
+		g.I("mov r2, %s", r.Base)
+		g.I("movi r3, %d", n)
+		g.I("native %s", NativeFutexWake)
+	}
+}
+
+// SyncBarrier is an n-thread generation barrier: an arrival counter at
+// [Base+0] and a generation word at [Base+8]. The last arriver resets the
+// counter and bumps the generation; everyone else waits for the
+// generation to move (convoy formation in miniature — all waiters release
+// at once).
+type SyncBarrier struct{ F Flavor }
+
+func (b SyncBarrier) Kind() Kind     { return Barrier }
+func (b SyncBarrier) Flavor() Flavor { return b.F }
+
+// EmitArrive emits one arrive-and-wait for an n-thread barrier.
+func (b SyncBarrier) EmitArrive(g *Gen, r Regs, n int) {
+	wait := g.L("bwait")
+	done := g.L("bdone")
+	g.I("addi %s, %s, 8", r.T3, r.Base) // &generation
+	g.I("ld %s, [%s+0]", r.T4, r.T3)    // generation snapshot
+	g.I("movi %s, 1", r.T1)
+	g.I("faa %s, [%s+0], %s", r.T2, r.Base, r.T1)
+	g.I("addi %s, %s, 1", r.T2, r.T2)
+	g.I("movi %s, %d", r.T1, n)
+	g.I("bne %s, %s, %s", r.T2, r.T1, wait)
+	// Last arriver: reset the counter, then release the generation.
+	g.I("st [%s+0], %s", r.Base, r.Zero)
+	g.I("movi %s, 1", r.T1)
+	g.I("faa %s, [%s+0], %s", r.T2, r.T3, r.T1)
+	g.I("jmp %s", done)
+	g.Label(wait)
+	g.waitWhileEq(b.F, r.T3, r.T4, r.T1) // while generation unchanged
+	g.Label(done)
+}

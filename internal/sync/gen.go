@@ -1,0 +1,65 @@
+package sync
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gen accumulates assembly text with collision-free labels, so several
+// primitive fragments can be inlined into one program. Labels are
+// "<prefix>_<stem>_<seq>"; the prefix should be unique per call site
+// (progen uses "t<i>_op<j>", bench uses the cell name).
+type Gen struct {
+	sb     strings.Builder
+	prefix string
+	seq    int
+}
+
+// NewGen starts a generator whose labels are prefixed with prefix.
+func NewGen(prefix string) *Gen { return &Gen{prefix: prefix} }
+
+// L mints a unique label for this generator.
+func (g *Gen) L(stem string) string {
+	g.seq++
+	return fmt.Sprintf("%s_%s_%d", g.prefix, stem, g.seq)
+}
+
+// I emits one indented instruction line.
+func (g *Gen) I(format string, args ...any) {
+	g.sb.WriteByte('\t')
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+// Label emits a label definition line.
+func (g *Gen) Label(l string) {
+	g.sb.WriteString(l)
+	g.sb.WriteString(":\n")
+}
+
+// Raw appends preformatted assembly text verbatim.
+func (g *Gen) Raw(s string) { g.sb.WriteString(s) }
+
+// Source returns the accumulated assembly.
+func (g *Gen) Source() string { return g.sb.String() }
+
+// waitWhileEq emits a wait loop that blocks while [addrReg+0] == valReg,
+// using tmp as scratch. Nocs parks via monitor/mwait (re-arming before
+// every re-check, so a wake that consumed the watch set cannot cause a
+// missed signal); Legacy spins. The fragment falls through once the word
+// differs from valReg, leaving the observed value in tmp.
+func (g *Gen) waitWhileEq(f Flavor, addrReg, valReg, tmp string) {
+	loop := g.L("wait")
+	done := g.L("woken")
+	g.Label(loop)
+	if f == Nocs {
+		g.I("monitor %s", addrReg)
+	}
+	g.I("ld %s, [%s+0]", tmp, addrReg)
+	g.I("bne %s, %s, %s", tmp, valReg, done)
+	if f == Nocs {
+		g.I("mwait")
+	}
+	g.I("jmp %s", loop)
+	g.Label(done)
+}

@@ -1,0 +1,163 @@
+package sync
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nocs/internal/asm"
+	"nocs/internal/hwthread"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+)
+
+// buildSnapshotContention boots four staggered mcs/nocs workers: thread i
+// warms up i*4000 cycles, acquires, logs its grant, holds ~20000 cycles,
+// releases, and halts. By cycle 12000 thread 0 is mid-critical-section and
+// threads 1 and 2 are parked in mwait on their qnode flags — the two lock
+// states a checkpoint must capture exactly.
+func buildSnapshotContention(t *testing.T) *machine.Machine {
+	t.Helper()
+	const workers = 4
+	l := MCSLock{F: Nocs}
+	g := NewGen("snap")
+	g.Label("entry")
+	g.I("movi r5, 4000")
+	g.I("mul r9, r12, r5")
+	warm, go_ := g.L("warm"), g.L("go")
+	g.Label(warm)
+	g.I("beq r9, r8, %s", go_)
+	g.I("addi r9, r9, -1")
+	g.I("jmp %s", warm)
+	g.Label(go_)
+	l.EmitAcquire(g, testRegs())
+	// log[logIdx++] = me
+	g.I("ld r5, [r13+0]")
+	g.I("movi r6, 8")
+	g.I("mul r6, r5, r6")
+	g.I("add r6, r6, r14")
+	g.I("st [r6+0], r12")
+	g.I("addi r5, r5, 1")
+	g.I("st [r13+0], r5")
+	g.I("movi r9, 20000")
+	hold, rel := g.L("hold"), g.L("rel")
+	g.Label(hold)
+	g.I("beq r9, r8, %s", rel)
+	g.I("addi r9, r9, -1")
+	g.I("jmp %s", hold)
+	g.Label(rel)
+	l.EmitRelease(g, testRegs())
+	g.I("halt")
+
+	m := machine.New(machine.WithThreads(workers), machine.WithSMTSlots(2))
+	prog := asm.MustAssemble("snap-contention", g.Source())
+	c := m.Core(0)
+	for i := 0; i < workers; i++ {
+		p := hwthread.PTID(i)
+		if err := c.BindProgram(p, prog, "entry"); err != nil {
+			t.Fatal(err)
+		}
+		ctx := c.Threads().Context(p)
+		ctx.Regs.GPR[10] = lockBase
+		ctx.Regs.GPR[12] = int64(i)
+		ctx.Regs.GPR[13] = logIdx
+		ctx.Regs.GPR[14] = logBase
+	}
+	for i := 0; i < workers; i++ {
+		if err := c.BootStart(hwthread.PTID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func checkFIFOLog(m *machine.Machine) error {
+	if got := m.Mem().Read(logIdx); got != 4 {
+		return fmt.Errorf("log has %d entries, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if got := m.Mem().Read(logBase + int64(8*i)); got != int64(i) {
+			return fmt.Errorf("grant %d went to thread %d, want %d", i, got, i)
+		}
+	}
+	return nil
+}
+
+// TestSyncSnapshotRoundTrip checkpoints a contended MCS machine while one
+// thread is mid-critical-section and others are parked mid-mwait, restores
+// it into a fresh machine, and requires (a) the restored state to
+// re-serialize byte-identically, and (b) the restored run to complete the
+// FIFO handoff chain exactly like the straight-through run — armed monitor
+// watch sets and queued lock state must survive serialization.
+func TestSyncSnapshotRoundTrip(t *testing.T) {
+	const deadline = 5_000_000
+	m := buildSnapshotContention(t)
+
+	// Advance in small windows until the checkpoint lands in the interesting
+	// region: the lock held (grant log started, not finished) with at least
+	// one waiter parked in mwait. Probing instead of hardcoding a cycle keeps
+	// the test independent of the cost model's exact arrival times.
+	parked := 0
+	var mid sim.Cycles
+	for mid = 2_000; mid < 1_000_000; mid += 2_000 {
+		m.RunUntil(mid)
+		parked = 0
+		for i := 0; i < 4; i++ {
+			if m.Core(0).Threads().Context(hwthread.PTID(i)).State == hwthread.Waiting {
+				parked++
+			}
+		}
+		if parked > 0 {
+			break
+		}
+	}
+	if parked == 0 {
+		t.Fatal("no thread ever parked in mwait — checkpoint misses the park path")
+	}
+	if got := m.Mem().Read(logIdx); got < 1 || got >= 4 {
+		t.Fatalf("at cycle %d the lock saw %d grants, want mid-chain (1..3)", mid, got)
+	}
+
+	var snap bytes.Buffer
+	if err := m.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := snap.Bytes()
+
+	// Restore into a fresh machine; its immediate re-serialization must be
+	// byte-identical to the original checkpoint.
+	m2 := machine.New(machine.WithThreads(4), machine.WithSMTSlots(2))
+	if err := m2.Restore(bytes.NewReader(snapBytes)); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := m2.Snapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBytes, again.Bytes()) {
+		t.Fatalf("restored machine re-serializes differently (%d vs %d bytes)",
+			len(snapBytes), again.Len())
+	}
+
+	// Both runs must finish the handoff chain identically.
+	m.RunUntil(deadline)
+	m2.RunUntil(deadline)
+	for _, run := range []*machine.Machine{m, m2} {
+		if !allHalted(run, 4) {
+			t.Fatal("threads still live at deadline after restore (lost wakeup)")
+		}
+		if err := checkFIFOLog(run); err != nil {
+			t.Fatalf("handoff after restore: %v", err)
+		}
+	}
+	var fin1, fin2 bytes.Buffer
+	if err := m.Snapshot(&fin1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Snapshot(&fin2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fin1.Bytes(), fin2.Bytes()) {
+		t.Fatal("restored run diverged from straight-through run by the deadline")
+	}
+}

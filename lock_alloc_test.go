@@ -1,0 +1,108 @@
+package nocs_test
+
+import (
+	"testing"
+
+	"nocs/internal/asm"
+	"nocs/internal/machine"
+	"nocs/internal/sim"
+	nsync "nocs/internal/sync"
+)
+
+const lockAllocBase = 0x1000
+
+// uncontendedLockSource builds a single-thread acquire/bump/release loop
+// over the nocs parking mutex: the CAS fast path in, the plain store out.
+// iters <= 0 emits an infinite loop (for windowed zero-alloc runs); positive
+// iters emits a counted loop ending in halt (for benchmarks).
+func uncontendedLockSource(iters int) string {
+	l := nsync.ParkingMutex{F: nsync.Nocs}
+	r := nsync.Regs{Base: "r10", Me: "r12", Zero: "r8",
+		T1: "r1", T2: "r2", T3: "r3", T4: "r4"}
+	g := nsync.NewGen("unc")
+	g.Label("entry")
+	if iters > 0 {
+		g.I("movi r9, %d", iters)
+	}
+	loop, done := g.L("loop"), g.L("done")
+	g.Label(loop)
+	if iters > 0 {
+		g.I("beq r9, r8, %s", done)
+	}
+	l.EmitAcquire(g, r)
+	g.I("ld r5, [r11+0]")
+	g.I("addi r5, r5, 1")
+	g.I("st [r11+0], r5")
+	l.EmitRelease(g, r)
+	if iters > 0 {
+		g.I("addi r9, r9, -1")
+	}
+	g.I("jmp %s", loop)
+	g.Label(done)
+	g.I("halt")
+	return g.Source()
+}
+
+func bootUncontendedLock(tb testing.TB, iters int) *machine.Machine {
+	tb.Helper()
+	prog, err := asm.Assemble("uncontended-lock", uncontendedLockSource(iters))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := machine.New()
+	c := m.Core(0)
+	if err := c.BindProgram(0, prog, "entry"); err != nil {
+		tb.Fatal(err)
+	}
+	ctx := c.Threads().Context(0)
+	ctx.Regs.GPR[8] = 0
+	ctx.Regs.GPR[10] = lockAllocBase
+	ctx.Regs.GPR[11] = lockAllocBase + 0x100
+	if err := c.BootStart(0); err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// TestUncontendedLockZeroAlloc extends the zero-alloc guard to the sync
+// fast path: steady-state uncontended acquire/release (CAS in, store out,
+// monitor machinery never engaged) must not allocate. The atomic ops run
+// through the general interpreter rather than the batched fast switch, so
+// this pins the interpreter's RMW path as heap-free too.
+func TestUncontendedLockZeroAlloc(t *testing.T) {
+	m := bootUncontendedLock(t, 0)
+	const window = 10_000
+	deadline := sim.Cycles(window)
+	m.RunUntil(deadline) // warmup: event heap, freelist, decode cache
+
+	allocs := testing.AllocsPerRun(50, func() {
+		deadline += window
+		m.RunUntil(deadline)
+	})
+	if allocs != 0 {
+		t.Fatalf("uncontended acquire/release allocates: %.1f allocs per %d-cycle window, want 0", allocs, window)
+	}
+	if got := m.Mem().Read(lockAllocBase + 0x100); got == 0 {
+		t.Fatal("no critical sections completed — guard measured nothing")
+	}
+}
+
+// BenchmarkUncontendedLock times the uncontended acquire/release round trip
+// and feeds the scripts/ci.sh allocation gate (scripts/alloc_baseline.txt).
+func BenchmarkUncontendedLock(b *testing.B) {
+	const iters = 2000
+	b.ResetTimer()
+	var retired uint64
+	var cycles sim.Cycles
+	for i := 0; i < b.N; i++ {
+		m := bootUncontendedLock(b, iters)
+		m.Run(0)
+		if got := m.Mem().Read(lockAllocBase + 0x100); got != iters {
+			b.Fatalf("counter %d, want %d", got, iters)
+		}
+		retired = m.Retired()
+		cycles = m.Now()
+	}
+	b.ReportMetric(float64(retired), "sim-instrs/op")
+	b.ReportMetric(float64(cycles)/iters, "sim-cycles/acquire")
+}

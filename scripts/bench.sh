@@ -8,15 +8,20 @@
 #    across the host's CPUs) and records parallel_speedup: sharded wall
 #    clock vs the serial oracle at equal seeds and byte-identical output.
 #    The speedup is bounded by the host's real CPU count (GOMAXPROCS).
-# 4. Runs the repository testing.B benchmarks with -benchmem.
-# 5. Emits BENCH_4.json: per-experiment ns/op, B/op, allocs/op (plus
+# 4. Runs the L1 lock-contention experiment (every internal/sync
+#    primitive×flavor cell swept over ptids, hold length, and SMT slots,
+#    plus the shard-determinism sweep) and records every row.
+# 5. Runs the repository testing.B benchmarks with -benchmem.
+# 6. Emits BENCH_5.json: per-experiment ns/op, B/op, allocs/op (plus
 #    sim-instrs/op and sim-instrs/sec where a benchmark reports them), the
 #    wall times, the headline instructions_per_sec figure (sustained
 #    simulated-instruction rate from CoreInstructionRate), the
-#    parallel_speedup block, and the snapshot block (checkpoint
+#    parallel_speedup block, the snapshot block (checkpoint
 #    serialize/restore throughput in MB/s and ns per checkpoint, from
-#    BenchmarkSnapshotEncode/BenchmarkSnapshotRestore), so the next
-#    hot-path PR starts from numbers, not guesses.
+#    BenchmarkSnapshotEncode/BenchmarkSnapshotRestore), and the
+#    lock_contention block (acquire p50/p99, handoff, starvation, and
+#    fairness per cell), so the next hot-path PR starts from numbers, not
+#    guesses.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x (default) controls -benchtime; set e.g. BENCHTIME=2s for
@@ -25,7 +30,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_4.json}
+OUT=${1:-BENCH_5.json}
 BENCHTIME=${BENCHTIME:-1x}
 GOLDEN=results_full.txt
 TMP=$(mktemp -d)
@@ -76,6 +81,38 @@ scale_serial_ms=$(scale_field serial_ms)
 scale_parallel_ms=$(scale_field parallel_ms)
 scale_ips=$(scale_field instrs_per_sec)
 
+echo "== L1 lock contention: nocsim -locks =="
+"$TMP/nocsim" -locks > "$TMP/locks.txt"
+grep -E '^L1 (stats|shards):' "$TMP/locks.txt" | sed 's/^/   /' | tail -6
+# Render the L1 rows and shard-sweep line as the lock_contention JSON block.
+awk '
+/^L1 stats:/ {
+    row = ""
+    for (i = 3; i <= NF; i++) {
+        split($i, kv, "=")
+        v = kv[2]
+        if (kv[1] == "cell" || kv[1] == "hold") v = "\"" v "\""
+        row = row (row == "" ? "" : ", ") "\"" kv[1] "\": " v
+    }
+    rows[nr++] = "      {" row "}"
+}
+/^L1 shards:/ {
+    for (i = 3; i <= NF; i++) {
+        split($i, kv, "=")
+        if (kv[1] == "workers") sw = kv[2]
+        if (kv[1] == "hash") sh = kv[2]
+        if (kv[1] == "speedup") sp = kv[2]
+    }
+}
+END {
+    printf "  \"lock_contention\": {\n"
+    printf "    \"shard_sweep\": {\"shards\": [1, 2, 4], \"workers\": %s, \"output\": \"byte-identical\", \"hash\": \"%s\", \"best_speedup\": %s},\n", \
+        sw == "" ? "null" : sw, sh, sp == "" ? "null" : sp
+    printf "    \"rows\": [\n"
+    for (i = 0; i < nr; i++) printf "%s%s\n", rows[i], i < nr-1 ? "," : ""
+    printf "    ]\n  },\n"
+}' "$TMP/locks.txt" > "$TMP/locks.json"
+
 echo "== benchmarks (-benchmem -benchtime $BENCHTIME) =="
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$TMP/bench.txt"
 
@@ -84,7 +121,7 @@ awk -v wall_ms="$wall_ms" -v wall_par_ms="$wall_par_ms" \
     -v speedup="$speedup" -v scale_workers="$scale_workers" \
     -v scale_shards="$scale_shards" -v scale_cores="$scale_cores" \
     -v scale_serial_ms="$scale_serial_ms" -v scale_parallel_ms="$scale_parallel_ms" \
-    -v scale_ips="$scale_ips" '
+    -v scale_ips="$scale_ips" -v lockjson="$TMP/locks.json" '
 BEGIN { n = 0; ips = "" }
 /^Benchmark/ && /ns\/op/ {
     name = $1
@@ -124,6 +161,7 @@ END {
         snap_enc_ns == "" ? "null" : snap_enc_ns, \
         snap_res_mbs == "" ? "null" : snap_res_mbs, \
         snap_res_ns == "" ? "null" : snap_res_ns
+    while ((getline lockline < lockjson) > 0) print lockline
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \

@@ -19,19 +19,25 @@
 #                        divergent cycle (DESIGN.md §13)
 #   8. fault package   — go vet + race-enabled unit tests for
 #                        internal/faultinject
-#   9. allocation gate — CoreInstructionRate + F7_TailLatency allocs/op must
-#                        stay within 10% of scripts/alloc_baseline.txt (the
-#                        zero-alloc hot paths must not silently regrow heap
-#                        traffic)
+#   9. allocation gate — CoreInstructionRate + F7_TailLatency +
+#                        UncontendedLock allocs/op must stay within 10% of
+#                        scripts/alloc_baseline.txt (the zero-alloc hot
+#                        paths must not silently regrow heap traffic)
 #  10. sharded golden  — a small `nocsim -scale -quick` run; RunScale fails
 #                        internally unless the sharded scheduler's output is
 #                        byte-identical to the serial oracle, so scheduler
 #                        regressions fail fast here
-#  11. snapshot golden — a quick checkpointed endurance run (`nocsim
+#  11. lock sweep      — a CI-sized `nocsim -locks -quick` contention run
+#                        (RunLocks fails internally on any exclusion
+#                        violation, lost wakeup, or shard-determinism
+#                        break), plus a 60-seed lock-ordering differential
+#                        sweep with the planted LIFO-handoff mutation that
+#                        the sweep must catch (DESIGN.md §14)
+#  12. snapshot golden — a quick checkpointed endurance run (`nocsim
 #                        -endurance`): resuming from the last emitted
 #                        checkpoint must reproduce the straight-through
 #                        run's summary and hash exactly
-#  12. golden diff     — `nocsim -all` must be byte-identical to the
+#  13. golden diff     — `nocsim -all` must be byte-identical to the
 #                        committed results_full.txt (skip with SKIP_GOLDEN=1
 #                        when the caller performs its own golden run)
 #
@@ -78,7 +84,7 @@ go vet ./internal/faultinject
 go test -race -count=1 ./internal/faultinject
 
 echo "== allocation gate (allocs/op within 10% of scripts/alloc_baseline.txt) =="
-go test -run '^$' -bench '^(BenchmarkCoreInstructionRate|BenchmarkF7_TailLatency)$' \
+go test -run '^$' -bench '^(BenchmarkCoreInstructionRate|BenchmarkF7_TailLatency|BenchmarkUncontendedLock)$' \
     -benchmem -benchtime 1x . > "$TMP/allocgate.txt"
 awk '
     NR==FNR { if ($0 !~ /^#/ && NF == 2) base[$1] = $2; next }
@@ -101,6 +107,12 @@ awk '
 echo "== sharded golden: nocsim -scale -quick (serial vs sharded byte-identity) =="
 go build -o "$TMP/nocsim" ./cmd/nocsim
 "$TMP/nocsim" -scale -quick -shards 4 -workers 4 | grep '^S1 stats:'
+
+echo "== lock sweep smoke: nocsim -locks -quick + lock-ordering differential sweep =="
+"$TMP/nocsim" -locks -quick | grep '^L1 shards:' | sed 's/^/   /'
+NOCS_DIFF_N=60 go test -count=1 \
+    -run '^(TestLockDifferentialSweep|TestHandoffMutationIsCaught)$' \
+    ./internal/refmodel/diff
 
 echo "== snapshot golden: nocsim -endurance checkpoint/resume hash identity =="
 "$TMP/nocsim" -endurance -quick -checkpoint-every 30000 \
