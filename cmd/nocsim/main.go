@@ -16,6 +16,8 @@
 //	nocsim -scale -cores 256 -workers 8 # bigger machine, explicit workers
 //	nocsim -locks             # L1: lock contention, nocs vs legacy parking
 //	nocsim -locks -quick      # CI-sized contention sweep
+//	nocsim -serve             # SV1: datacenter serving cells, load × arrival × flavor
+//	nocsim -serve -quick      # CI-sized serving grid incl. overload cells
 //	nocsim -endurance -checkpoint-every 100000 -checkpoint run.ckpt
 //	                          # E1 endurance run, periodic machine checkpoints
 //	nocsim -endurance -resume run.ckpt  # warm-start from the last checkpoint
@@ -58,6 +60,7 @@ func main() {
 		faults     = flag.String("faults", "", `fault-injection plan for fault-aware experiments (F2, F16): "default" arms the standard seeded plan, "" runs fault-free`)
 		scale      = flag.Bool("scale", false, "run S1, the sharded-scheduler scaling experiment: one many-core machine executed serially, then across -workers real CPUs, with a byte-identity check between the two")
 		locks      = flag.Bool("locks", false, "run L1, the lock-contention experiment: every internal/sync primitive×flavor cell swept across ptid counts, hold lengths, and SMT slots, plus a shard-determinism check")
+		serveFlag  = flag.Bool("serve", false, "run SV1, the datacenter serving sweep: multi-tier serving cells (LB → app pool → storage) across load × arrival × flavor, each cell byte-identical between the serial oracle and the sharded scheduler")
 		endurance  = flag.Bool("endurance", false, "run E1, the checkpointed endurance workload: a snapshot-complete token-ring machine whose full state can be serialized mid-run (-checkpoint-every) and warm-started later (-resume)")
 		horizon    = flag.Int64("horizon", 0, "simulated cycles for -endurance (default 400000, or 100000 with -quick)")
 		ckptEvery  = flag.Int64("checkpoint-every", 0, "serialize a machine checkpoint every N simulated cycles during -endurance (0 disables)")
@@ -163,6 +166,30 @@ func main() {
 		}
 		fmt.Printf("L1 shards: shards=1,2,4 workers=%d identical=true hash=%016x speedup=%.2f\n",
 			stats.ShardWorkers, stats.ShardHash, stats.ShardSpeedup)
+		return
+	}
+
+	if *serveFlag {
+		sc := bench.DefaultServeConfig(*quick)
+		if *workers > 0 {
+			sc.Workers = *workers
+		}
+		if max := runtime.GOMAXPROCS(0); sc.Workers > max {
+			sc.Workers = max
+		}
+		res, cells, err := bench.RunServe(bench.RunConfig{Seed: *seed, Quick: *quick}, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		for _, c := range cells {
+			fmt.Printf("SV1 stats: flavor=%s arrival=%s load=%.2f gen=%d done=%d refused=%d refused_conns=%d peak=%d p50=%d p99=%d p999=%d mean=%.1f goodput=%.2f lockw=%d busy=%d stalls=%d pump=%d dram=%d hash=%016x\n",
+				c.Flavor, c.Arrival, c.Load, c.Generated, c.Completed, c.Refused,
+				c.RefusedConns, c.OpenPeak, c.P50, c.P99, c.P999, c.MeanLat,
+				c.GoodputKRPS, c.LockWaits, c.SendBusy, c.RingStalls, c.PumpStalls,
+				c.DRAMStarts, c.Hash)
+		}
 		return
 	}
 

@@ -46,7 +46,7 @@ func f7Dist(name string, rng *sim.RNG) workload.Service {
 	case "bimodal":
 		// 99% short, 1% long, same mean: 0.99*s + 0.01*l = 10000 with
 		// l = 100*s  =>  s ≈ 5025, l ≈ 502500.
-		return workload.Bimodal{Short: 5025, Long: 502500, PShort: 0.99, RNG: rng}
+		return workload.NewBimodal(5025, 502500, 0.99, rng)
 	}
 	panic("unknown distribution " + name)
 }

@@ -71,7 +71,7 @@ func TestPSInsensitivity(t *testing.T) {
 
 	rng := sim.NewRNG(7)
 	arr := workload.NewPoissonArrivals(workload.MeanForLoad(load, meanSvc, 1), rng)
-	bim := workload.Bimodal{Short: 1000, Long: 298000, PShort: 0.99, RNG: rng.Split()}
+	bim := workload.NewBimodal(1000, 298000, 0.99, rng.Split())
 	reqsB := workload.Generate(n, 0, arr, bim)
 
 	rng2 := sim.NewRNG(8)
@@ -99,7 +99,7 @@ func TestFCFSHeadOfLineBlockingUnderHighVariability(t *testing.T) {
 	gen := func(seed uint64) []workload.Request {
 		rng := sim.NewRNG(seed)
 		arr := workload.NewPoissonArrivals(workload.MeanForLoad(load, meanSvc, 1), rng)
-		svc := workload.Bimodal{Short: 1000, Long: 100000, PShort: 0.99, RNG: rng.Split()}
+		svc := workload.NewBimodal(1000, 100000, 0.99, rng.Split())
 		return workload.Generate(n, 0, arr, svc)
 	}
 

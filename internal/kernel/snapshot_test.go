@@ -56,7 +56,7 @@ func buildQueueCase(kind string, eng *sim.Shard, faults bool, out *[]compRec) (Q
 func queueReqs() []workload.Request {
 	rng := sim.NewRNG(11)
 	arr := workload.NewPoissonArrivals(1000, rng)
-	svc := workload.Bimodal{Short: 600, Long: 20000, PShort: 0.95, RNG: rng}
+	svc := workload.NewBimodal(600, 20000, 0.95, rng)
 	return workload.Generate(300, 0, arr, svc)
 }
 

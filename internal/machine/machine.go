@@ -191,6 +191,17 @@ type ComponentSnapshotter interface {
 	LiveHandles() []sim.Handle
 }
 
+// EventClaimer is an optional extension of ComponentSnapshotter for
+// components that track their live events by (cycle, sequence) instead of
+// retained handles — the kernel queueing servers' convention, where arrival
+// bodies are arena-allocated without per-event bookkeeping and recovered by
+// walking the engine. When an attached component implements it, the snapshot
+// claims its events through ClaimEvents and ignores LiveHandles (which may
+// return nil).
+type EventClaimer interface {
+	ClaimEvents(claimed map[uint64]bool)
+}
+
 // attachedComponent is one driver-registered snapshot participant.
 type attachedComponent struct {
 	name  string

@@ -237,6 +237,10 @@ func (m *Machine) SnapshotTo(b *snapshot.Builder) error {
 		}
 	}
 	for _, a := range m.attached {
+		if ec, ok := a.cs.(EventClaimer); ok {
+			ec.ClaimEvents(claimed[a.shard])
+			continue
+		}
 		if err := claim(a.shard, a.cs.LiveHandles()); err != nil {
 			return err
 		}

@@ -1,0 +1,33 @@
+package metrics
+
+import "nocs/internal/snapshot"
+
+// Checkpoint support (DESIGN.md §13). A histogram's dynamic state is the
+// bucket array plus the running aggregates. The bucket slice is serialized
+// at its grown length — growth is deterministic in the record sequence, so
+// a restored histogram re-snapshots byte-identically.
+
+// SnapshotState writes the histogram's dynamic state.
+func (h *Histogram) SnapshotState(w *snapshot.W) {
+	w.Len(len(h.buckets))
+	for _, b := range h.buckets {
+		w.U64(b)
+	}
+	w.U64(h.count).I64(h.sum).I64(h.min).I64(h.max)
+}
+
+// RestoreState replaces the histogram's state with the checkpoint's.
+func (h *Histogram) RestoreState(r *snapshot.R) error {
+	n := r.Len(8)
+	buckets := make([]uint64, n)
+	for i := range buckets {
+		buckets[i] = r.U64()
+	}
+	count, sum, min, max := r.U64(), r.I64(), r.I64(), r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	h.buckets = buckets
+	h.count, h.sum, h.min, h.max = count, sum, min, max
+	return nil
+}

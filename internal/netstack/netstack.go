@@ -57,6 +57,13 @@ type Config struct {
 	RingEntries int
 	// PerPacket is the protocol-processing cost (default 600 cycles).
 	PerPacket sim.Cycles
+	// TXStageBase, when nonzero, enables the SendAsync outbox: queued
+	// payloads are staged here (TXStageEntries slots of 256 bytes) as they
+	// are posted, and the slot is not reused until the NIC has transmitted
+	// it.
+	TXStageBase int64
+	// TXStageEntries is the staging-ring size (default 64).
+	TXStageEntries int
 }
 
 func (c *Config) setDefaults() {
@@ -65,6 +72,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.PerPacket == 0 {
 		c.PerPacket = 600
+	}
+	if c.TXStageEntries == 0 {
+		c.TXStageEntries = 64
 	}
 }
 
@@ -89,8 +99,15 @@ type Stack struct {
 	txSeq        int64
 	ptid         hwthread.PTID
 
-	// live tracks the in-flight delayed doorbell publishes, so a machine
-	// checkpoint can claim and re-create them (DESIGN.md §13).
+	// SendAsync outbox: payloads accepted but not yet staged and posted.
+	outbox    [][]int64
+	staged    int64  // payloads staged-and-posted so far (stage slot cursor)
+	txQueued  uint64 // SendAsync payloads ever accepted
+	pumpStall uint64 // pump passes that found the stage ring full
+
+	// live tracks the in-flight delayed doorbell publishes, send retries,
+	// and outbox pump, so a machine checkpoint can claim and re-create them
+	// (DESIGN.md §13).
 	live []*stackEv
 }
 
@@ -98,17 +115,25 @@ type Stack struct {
 const (
 	evSockRx     = uint8(0) // delayed socket doorbell publish
 	evTxDoorbell = uint8(1) // delayed NIC TX doorbell ring
+	evSendRetry  = uint8(2) // SendWithRetry backoff attempt
+	evTxPump     = uint8(3) // SendAsync outbox pump
 )
 
+var stackEvNames = [...]string{"sock-rx", "tx-doorbell", "send-retry", "tx-pump"}
+
 // stackEv is a checkpointable in-flight stack event: the delayed doorbell
-// publishes that used to be ad-hoc closures. Each live event knows its slot
-// in the stack's live list and unlinks itself when it fires.
+// publishes, send-retry backoffs, and the outbox pump that used to be ad-hoc
+// closures. Each live event knows its slot in the stack's live list and
+// unlinks itself when it fires.
 type stackEv struct {
 	st   *Stack
 	idx  int
 	kind uint8
-	sock int   // evSockRx: index into st.order
-	val  int64 // doorbell count / tx sequence
+	sock int        // evSockRx: index into st.order
+	val  int64      // doorbell count / tx sequence / retry payload words
+	addr int64      // evSendRetry: payload address
+	wait sim.Cycles // evSendRetry, evTxPump: current backoff spacing
+	max  sim.Cycles // evSendRetry: backoff cap
 	h    sim.Handle
 }
 
@@ -121,6 +146,18 @@ func (e *stackEv) OnEvent() {
 		c.WriteWord(e.st.nic.Config().TXDoorbell, e.val)
 	}
 	e.st.unlink(e)
+	switch e.kind {
+	case evSendRetry:
+		if !e.st.Send(e.addr, e.val) {
+			next := e.wait * 2
+			if next > e.max {
+				next = e.max
+			}
+			e.st.scheduleRetry(e.addr, e.val, e.wait, next, e.max)
+		}
+	case evTxPump:
+		e.st.pumpTick(e.wait)
+	}
 }
 
 func (s *Stack) unlink(e *stackEv) {
@@ -132,12 +169,35 @@ func (s *Stack) unlink(e *stackEv) {
 
 func (s *Stack) scheduleEv(kind uint8, sock int, val int64, after sim.Cycles) {
 	e := &stackEv{st: s, idx: len(s.live), kind: kind, sock: sock, val: val}
-	name := "sock-rx"
-	if kind == evTxDoorbell {
-		name = "tx-doorbell"
-	}
-	e.h = s.k.Core().Shard().AfterCallback(after, name, e)
+	e.h = s.k.Core().Shard().AfterCallback(after, stackEvNames[kind], e)
 	s.live = append(s.live, e)
+}
+
+// scheduleRetry queues a send-retry attempt `delay` cycles out; when it fires
+// and the mailbox is still busy it reschedules itself at `next`, doubling up
+// to `max`.
+func (s *Stack) scheduleRetry(addr, words int64, delay, next, max sim.Cycles) {
+	e := &stackEv{st: s, idx: len(s.live), kind: evSendRetry,
+		val: words, addr: addr, wait: next, max: max}
+	e.h = s.k.Core().Shard().AfterCallback(delay, stackEvNames[evSendRetry], e)
+	s.live = append(s.live, e)
+}
+
+// schedulePump queues an outbox pump pass `delay` cycles out carrying its
+// current backoff spacing.
+func (s *Stack) schedulePump(delay sim.Cycles) {
+	e := &stackEv{st: s, idx: len(s.live), kind: evTxPump, wait: delay}
+	e.h = s.k.Core().Shard().AfterCallback(delay, stackEvNames[evTxPump], e)
+	s.live = append(s.live, e)
+}
+
+func (s *Stack) pumpLive() bool {
+	for _, e := range s.live {
+		if e.kind == evTxPump {
+			return true
+		}
+	}
+	return false
 }
 
 // Socket is one bound port's receive ring.
@@ -326,24 +386,104 @@ func (s *Stack) Send(payloadAddr, words int64) bool {
 // SendWithRetry posts a transmit request, retrying with doubling backoff
 // (capped at 8x the initial spacing) while the mailbox is occupied. The
 // stack always eventually clears the mailbox, so the post always eventually
-// lands — backpressure delays the sender instead of losing the packet.
+// lands — backpressure delays the sender instead of losing the packet. The
+// pending retry is a tracked stack event, so a machine checkpoint taken
+// while a sender is backing off restores and replays it exactly.
 func (s *Stack) SendWithRetry(payloadAddr, words int64, backoff sim.Cycles) {
 	if backoff < 1 {
 		backoff = 1
 	}
-	cap := backoff * 8
-	var attempt func(wait sim.Cycles)
-	attempt = func(wait sim.Cycles) {
-		if s.Send(payloadAddr, words) {
+	max := backoff * 8
+	if s.Send(payloadAddr, words) {
+		return
+	}
+	next := backoff * 2
+	if next > max {
+		next = max
+	}
+	s.scheduleRetry(payloadAddr, words, backoff, next, max)
+}
+
+// SendAsync queues a payload for transmission. Unlike Send, it never refuses
+// and never overwrites: payloads wait in the stack's outbox, and a
+// checkpointable pump stages each one into the TX staging ring (slots are
+// reused only after the NIC transmits them) and posts it to the mailbox,
+// backing off with the SendWithRetry doubling schedule while the mailbox is
+// busy. FIFO order is preserved. Requires Config.TXStageBase.
+func (s *Stack) SendAsync(payload []int64) {
+	if s.cfg.TXStageBase == 0 {
+		panic("netstack: SendAsync requires Config.TXStageBase")
+	}
+	s.txQueued++
+	s.outbox = append(s.outbox, payload)
+	// Fast path: nothing ahead of us and the mailbox is free — post now.
+	if len(s.outbox) == 1 && !s.pumpLive() {
+		if s.tryPost() {
 			return
 		}
-		next := wait * 2
-		if next > cap {
-			next = cap
-		}
-		s.k.Core().Shard().After(wait, "send-retry", func() { attempt(next) })
+		s.schedulePump(s.pumpSpacing())
 	}
-	attempt(backoff)
+}
+
+// TxQueue reports (payloads accepted by SendAsync, still waiting in the
+// outbox, pump passes stalled on a full stage ring).
+func (s *Stack) TxQueue() (queued uint64, backlog int, stageStalls uint64) {
+	return s.txQueued, len(s.outbox), s.pumpStall
+}
+
+// pumpSpacing is the gap between successful pump posts — a quarter of the
+// per-packet protocol cost, so the outbox drains faster than the stack can
+// consume and the mailbox (not the pump) is the limiter.
+func (s *Stack) pumpSpacing() sim.Cycles {
+	if sp := s.cfg.PerPacket / 4; sp > 1 {
+		return sp
+	}
+	return 1
+}
+
+// pumpTick is one outbox pump pass. wait is the spacing that scheduled it;
+// on a busy mailbox the next pass doubles it (capped at 8x base), and any
+// success resets to base.
+func (s *Stack) pumpTick(wait sim.Cycles) {
+	if len(s.outbox) == 0 {
+		return
+	}
+	if s.tryPost() {
+		if len(s.outbox) > 0 {
+			s.schedulePump(s.pumpSpacing())
+		}
+		return
+	}
+	next := wait * 2
+	if max := s.pumpSpacing() * 8; next > max {
+		next = max
+	}
+	s.schedulePump(next)
+}
+
+// tryPost stages the outbox head and posts it to the send mailbox. It
+// reports false — leaving the outbox untouched — when the stage ring has no
+// transmitted slot to reuse or the mailbox is busy.
+func (s *Stack) tryPost() bool {
+	c := s.k.Core()
+	if s.staged-int64(s.nic.Transmitted()) >= int64(s.cfg.TXStageEntries) {
+		s.pumpStall++
+		return false
+	}
+	p := s.outbox[0]
+	base := s.cfg.TXStageBase + (s.staged%int64(s.cfg.TXStageEntries))*256
+	for i, v := range p {
+		c.WriteWord(base+int64(i)*8, v)
+	}
+	if !s.Send(base, int64(len(p))) {
+		return false
+	}
+	s.staged++
+	s.outbox = s.outbox[1:]
+	if len(s.outbox) == 0 {
+		s.outbox = nil
+	}
+	return true
 }
 
 // Stats returns (received, dropped, sent). dropped counts genuinely lost
@@ -413,4 +553,30 @@ func (sk *Socket) Recv() (payload []int64, ok bool) {
 	}
 	c.WriteWord(sk.base+sockConsumed, consumed+1)
 	return payload, true
+}
+
+// RecvInto pops the next packet into buf without allocating, returning the
+// payload length (truncated to len(buf)). ok is false when the ring is
+// empty. This is the hot-path variant of Recv for consumers that process
+// millions of packets — the serving scenarios' app workers.
+func (sk *Socket) RecvInto(buf []int64) (n int, ok bool) {
+	c := sk.st.k.Core()
+	delivered := c.ReadWord(sk.base + sockDoorbell)
+	consumed := c.ReadWord(sk.base + sockConsumed)
+	if consumed >= delivered {
+		return 0, false
+	}
+	slot := consumed % int64(sk.st.cfg.RingEntries)
+	se := sk.base + sockSlots + slot*sockSlotBytes
+	addr := c.ReadWord(se)
+	length := c.ReadWord(se + 8)
+	n = int(length)
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = c.ReadWord(addr + int64(i)*8)
+	}
+	c.WriteWord(sk.base+sockConsumed, consumed+1)
+	return n, true
 }

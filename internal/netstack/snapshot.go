@@ -19,14 +19,20 @@ import (
 // The stack implements machine.ComponentSnapshotter; attach it with
 // m.AttachSnapshotter("netstack", shard, stack) on both the snapshot and the
 // restore machine. The restore target must have bound the same ports in the
-// same order. SendWithRetry's backoff closures are driver-side glue and are
-// NOT checkpointable (the engine's unclaimed-event check names them).
+// same order. SendWithRetry backoffs and the SendAsync outbox pump are
+// tracked stack events, so a sender caught mid-backoff checkpoints and
+// replays exactly.
 
 // SnapshotState writes the stack's dynamic state.
 func (s *Stack) SnapshotState(w *snapshot.W) error {
 	w.I64(s.rxHead).I64(s.txSeq)
 	w.U64(s.received).U64(s.dropNoSock).U64(s.dropMalform).U64(s.backpressure)
 	w.U64(s.sent).U64(s.sendBusy).U64(s.svcFaults)
+	w.I64(s.staged).U64(s.txQueued).U64(s.pumpStall)
+	w.Len(len(s.outbox))
+	for _, p := range s.outbox {
+		w.I64s(p)
+	}
 	w.Len(len(s.order))
 	for _, sock := range s.order {
 		w.I64(sock.Port).I64(sock.delivered).I64(sock.nacks).I64(sock.drops).Bool(sock.blocked)
@@ -56,6 +62,7 @@ func (s *Stack) SnapshotState(w *snapshot.W) error {
 	w.Len(len(evs))
 	for _, r := range evs {
 		w.I64(int64(r.at)).U64(r.seq).U8(r.e.kind).I64(int64(r.e.sock)).I64(r.e.val)
+		w.I64(r.e.addr).I64(int64(r.e.wait)).I64(int64(r.e.max))
 	}
 	return nil
 }
@@ -66,6 +73,15 @@ func (s *Stack) RestoreState(r *snapshot.R) error {
 	rxHead, txSeq := r.I64(), r.I64()
 	received, dropNoSock, dropMalform, backpressure := r.U64(), r.U64(), r.U64(), r.U64()
 	sent, sendBusy, svcFaults := r.U64(), r.U64(), r.U64()
+	staged, txQueued, pumpStall := r.I64(), r.U64(), r.U64()
+	nOut := r.Len(4)
+	outbox := make([][]int64, 0, nOut)
+	for i := 0; i < nOut; i++ {
+		outbox = append(outbox, r.I64s())
+	}
+	if len(outbox) == 0 {
+		outbox = nil
+	}
 	nSock := r.Len(33)
 	type sockRec struct {
 		port, delivered, nacks, drops int64
@@ -75,17 +91,21 @@ func (s *Stack) RestoreState(r *snapshot.R) error {
 	for i := range socks {
 		socks[i] = sockRec{r.I64(), r.I64(), r.I64(), r.I64(), r.Bool()}
 	}
-	nEv := r.Len(33)
+	nEv := r.Len(57)
 	type evRec struct {
 		at   sim.Cycles
 		seq  uint64
 		kind uint8
 		sock int64
 		val  int64
+		addr int64
+		wait sim.Cycles
+		max  sim.Cycles
 	}
 	evs := make([]evRec, nEv)
 	for i := range evs {
-		evs[i] = evRec{sim.Cycles(r.I64()), r.U64(), r.U8(), r.I64(), r.I64()}
+		evs[i] = evRec{sim.Cycles(r.I64()), r.U64(), r.U8(), r.I64(), r.I64(),
+			r.I64(), sim.Cycles(r.I64()), sim.Cycles(r.I64())}
 	}
 	if err := r.Err(); err != nil {
 		return err
@@ -108,6 +128,8 @@ func (s *Stack) RestoreState(r *snapshot.R) error {
 	s.rxHead, s.txSeq = rxHead, txSeq
 	s.received, s.dropNoSock, s.dropMalform, s.backpressure = received, dropNoSock, dropMalform, backpressure
 	s.sent, s.sendBusy, s.svcFaults = sent, sendBusy, svcFaults
+	s.staged, s.txQueued, s.pumpStall = staged, txQueued, pumpStall
+	s.outbox = outbox
 	for i, rec := range socks {
 		sock := s.order[i]
 		sock.delivered, sock.nacks, sock.drops, sock.blocked = rec.delivered, rec.nacks, rec.drops, rec.blocked
@@ -115,12 +137,12 @@ func (s *Stack) RestoreState(r *snapshot.R) error {
 	s.live = s.live[:0]
 	sh := s.k.Core().Shard()
 	for _, rec := range evs {
-		e := &stackEv{st: s, idx: len(s.live), kind: rec.kind, sock: int(rec.sock), val: rec.val}
-		name := "sock-rx"
-		if rec.kind == evTxDoorbell {
-			name = "tx-doorbell"
+		if int(rec.kind) >= len(stackEvNames) {
+			return fmt.Errorf("netstack: snapshot event has unknown kind %d", rec.kind)
 		}
-		e.h = sh.RestoreEvent(rec.at, rec.seq, name, e)
+		e := &stackEv{st: s, idx: len(s.live), kind: rec.kind, sock: int(rec.sock),
+			val: rec.val, addr: rec.addr, wait: rec.wait, max: rec.max}
+		e.h = sh.RestoreEvent(rec.at, rec.seq, stackEvNames[rec.kind], e)
 		s.live = append(s.live, e)
 	}
 	return nil

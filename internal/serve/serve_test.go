@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallConfig is a cell small enough for unit tests but big enough to push
+// packets through every tier.
+func smallConfig(flavor, arrival string, load float64) Config {
+	return Config{
+		AppServers: 4, Slots: 2,
+		Conns: 200, ReqsPerConn: 2,
+		Load: load, Arrival: arrival, Flavor: flavor,
+		Seed: 42, Workers: 1,
+	}
+}
+
+func runCell(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestServeDrainsAndConserves: a moderate-load cell completes every request
+// and the conservation invariant closes with zero refusals.
+func TestServeDrainsAndConserves(t *testing.T) {
+	c := runCell(t, smallConfig(FlavorNocs, ArrivalPoisson, 0.8))
+	total := uint64(c.total())
+	if c.lb.completedReq+c.lb.refusedReqs != total {
+		t.Fatalf("completed %d + refused %d != generated %d",
+			c.lb.completedReq, c.lb.refusedReqs, total)
+	}
+	if c.lb.completedReq == 0 {
+		t.Fatal("no requests completed")
+	}
+	if got := c.lb.lat.Count(); got != c.lb.completedReq {
+		t.Fatalf("latency histogram has %d samples, %d requests completed", got, c.lb.completedReq)
+	}
+	if c.stor.fetchOps == 0 || c.stor.wbOps == 0 {
+		t.Fatalf("storage tier idle (fetch=%d wb=%d)", c.stor.fetchOps, c.stor.wbOps)
+	}
+	if c.stor.fetchOps != c.stor.wbOps {
+		t.Fatalf("session opens %d != closes %d after drain", c.stor.fetchOps, c.stor.wbOps)
+	}
+}
+
+// TestServeLegacyFlavor: the FCFS/context-switch flavor drains too, and its
+// tail is worse than the nocs flavor's at equal load and seed — the paper's
+// §4 serving claim in miniature.
+func TestServeLegacyFlavor(t *testing.T) {
+	nocs := runCell(t, smallConfig(FlavorNocs, ArrivalPoisson, 0.8))
+	legacy := runCell(t, smallConfig(FlavorLegacy, ArrivalPoisson, 0.8))
+	_, n99, _, _ := nocs.lb.lat.Summary()
+	_, l99, _, _ := legacy.lb.lat.Summary()
+	if l99 <= n99 {
+		t.Fatalf("legacy p99 %d should exceed nocs p99 %d under bimodal service", l99, n99)
+	}
+}
+
+// TestServeOverloadRefuses: load 1.3 must shed — refusals happen, and
+// conservation still closes request-for-request.
+func TestServeOverloadRefuses(t *testing.T) {
+	cfg := smallConfig(FlavorNocs, ArrivalPoisson, 2.0)
+	cfg.Conns = 2000
+	cfg.Window = 32
+	c := runCell(t, cfg)
+	if c.lb.refusedReqs == 0 {
+		t.Fatal("overload cell refused nothing — admission control never engaged")
+	}
+	if c.lb.completedReq == 0 {
+		t.Fatal("overload cell completed nothing")
+	}
+	if c.lb.completedReq+c.lb.refusedReqs != uint64(c.total()) {
+		t.Fatalf("conservation: %d + %d != %d", c.lb.completedReq, c.lb.refusedReqs, c.total())
+	}
+}
+
+// TestServeParetoArrivals: bursty arrivals drive the backpressure path —
+// socket-ring stalls or mailbox retries — and still conserve.
+func TestServeParetoArrivals(t *testing.T) {
+	cfg := smallConfig(FlavorNocs, ArrivalPareto, 1.1)
+	cfg.Conns = 1000
+	c := runCell(t, cfg)
+	if c.lb.completedReq+c.lb.refusedReqs != uint64(c.total()) {
+		t.Fatalf("conservation: %d + %d != %d", c.lb.completedReq, c.lb.refusedReqs, c.total())
+	}
+	s := c.CollectStats()
+	if s.SendBusy == 0 && s.RingStalls == 0 && s.PumpStalls == 0 && s.LockWaits == 0 {
+		t.Fatal("bursty overload never touched a backpressure path — the cell is not exercising what it claims")
+	}
+}
+
+// TestServeSerialShardedIdentity: the same cell under the serial oracle and
+// the sharded scheduler must produce byte-identical summaries.
+func TestServeSerialShardedIdentity(t *testing.T) {
+	for _, flavor := range []string{FlavorNocs, FlavorLegacy} {
+		cfg := smallConfig(flavor, ArrivalPareto, 1.1)
+		cfg.Conns = 500
+		ser := runCell(t, cfg)
+		cfg.Workers = 4
+		par := runCell(t, cfg)
+		a, b := ser.Summary(), par.Summary()
+		if a != b {
+			t.Fatalf("%s: serial and sharded summaries differ:\n--- serial\n%s\n--- sharded\n%s", flavor, a, b)
+		}
+	}
+}
+
+// probeOverload runs a cluster in small steps until it is visibly
+// mid-overload: refusals recorded, requests in flight across the tiers.
+func probeOverload(t *testing.T, c *Cluster) {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		c.m.RunUntil(c.m.Now() + 5000)
+		if c.fatal != nil {
+			t.Fatal(c.fatal)
+		}
+		if err := c.Conservation(); err != nil {
+			t.Fatal(err)
+		}
+		if c.lb.refusedReqs > 0 && len(c.lb.reqT0) > 100 && c.src.Emitted() < c.total() {
+			return
+		}
+	}
+	t.Fatalf("never reached mid-overload (refused=%d inflight=%d emitted=%d)",
+		c.lb.refusedReqs, len(c.lb.reqT0), c.src.Emitted())
+}
+
+// TestServeSnapshotMidOverload checkpoints a serving cell in the middle of
+// an overload episode — requests queued at every tier, refusals underway,
+// send backoffs and scheduler arrivals in flight — restores it into a
+// freshly built cluster, and requires (a) an immediate re-snapshot to be
+// byte-identical and (b) the restored run to drain to the exact final state
+// of the straight-through run.
+func TestServeSnapshotMidOverload(t *testing.T) {
+	cfg := smallConfig(FlavorNocs, ArrivalPareto, 2.0)
+	cfg.Conns = 800
+	cfg.Window = 32
+
+	// Reference run, straight through.
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Summary()
+
+	// Checkpointed run: stop mid-overload and snapshot.
+	src, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeOverload(t, src)
+	var buf bytes.Buffer
+	if err := src.m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Summary(); got != want {
+		t.Fatalf("checkpointed run diverged from reference:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Restore into a fresh, identically built cluster.
+	dst, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.m.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := dst.m.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("restore+snapshot is not byte-identical: %d vs %d bytes", buf.Len(), buf2.Len())
+	}
+	if err := dst.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Summary(); got != want {
+		t.Fatalf("restored run diverged from reference:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestServeConfigValidation: unknown flavors and arrival processes are
+// rejected up front.
+func TestServeConfigValidation(t *testing.T) {
+	if _, err := New(Config{Flavor: "mystery"}); err == nil || !strings.Contains(err.Error(), "flavor") {
+		t.Fatalf("want flavor error, got %v", err)
+	}
+	if _, err := New(Config{Arrival: "uniform"}); err == nil || !strings.Contains(err.Error(), "arrival") {
+		t.Fatalf("want arrival error, got %v", err)
+	}
+}

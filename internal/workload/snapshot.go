@@ -5,11 +5,14 @@ import (
 	"nocs/internal/snapshot"
 )
 
-// Checkpoint support (DESIGN.md §13). A workload's only dynamic state is the
-// generator RNG cursor — every distribution in this package draws from a
-// caller-owned sim.RNG and keeps nothing else between samples — plus the
-// requests already materialized by Generate, which the queueing servers
-// serialize with the Request codec below.
+// Checkpoint support (DESIGN.md §13). A workload's dynamic state is the
+// generator RNG cursor (every distribution draws from a caller-owned
+// sim.RNG), the carry-rounding residual the arrival processes keep between
+// gaps, and a streaming Source's position — plus the requests already
+// materialized by Generate, which the queueing servers serialize with the
+// Request codec below. The RNG cursors stay caller-owned here too: a caller
+// sharing one RNG across several distributions snapshots it once with
+// SnapshotRNG, then the per-process codecs below for the rest.
 
 // SnapshotState writes one request.
 func (r Request) SnapshotState(w *snapshot.W) {
@@ -21,9 +24,43 @@ func RestoreRequest(r *snapshot.R) Request {
 	return Request{ID: int(r.I64()), Arrival: sim.Cycles(r.I64()), Demand: sim.Cycles(r.I64())}
 }
 
-// SnapshotRNG writes a generator cursor: the entire dynamic state of every
-// arrival process and service distribution drawing from rng.
+// SnapshotRNG writes a generator cursor.
 func SnapshotRNG(w *snapshot.W, rng *sim.RNG) { w.U64(rng.State()) }
 
 // RestoreRNG restores a generator cursor written by SnapshotRNG.
 func RestoreRNG(r *snapshot.R, rng *sim.RNG) { rng.SetState(r.U64()) }
+
+// SnapshotState writes the process's RNG cursor and carry residual.
+func (p *PoissonArrivals) SnapshotState(w *snapshot.W) {
+	w.U64(p.rng.State()).F64(p.carry)
+}
+
+// RestoreState restores a cursor written by PoissonArrivals.SnapshotState.
+func (p *PoissonArrivals) RestoreState(r *snapshot.R) {
+	p.rng.SetState(r.U64())
+	p.carry = r.F64()
+}
+
+// SnapshotState writes the process's RNG cursor and carry residual.
+func (p *ParetoArrivals) SnapshotState(w *snapshot.W) {
+	w.U64(p.rng.State()).F64(p.carry)
+}
+
+// RestoreState restores a cursor written by ParetoArrivals.SnapshotState.
+func (p *ParetoArrivals) RestoreState(r *snapshot.R) {
+	p.rng.SetState(r.U64())
+	p.carry = r.F64()
+}
+
+// SnapshotState writes the source's position: requests emitted and the last
+// arrival cycle. The arrival process and service distribution beneath it are
+// snapshotted by their own codecs (or SnapshotRNG for the stateless ones).
+func (s *Source) SnapshotState(w *snapshot.W) {
+	w.I64(int64(s.at)).I64(int64(s.n))
+}
+
+// RestoreState restores a position written by Source.SnapshotState.
+func (s *Source) RestoreState(r *snapshot.R) {
+	s.at = sim.Cycles(r.I64())
+	s.n = int(r.I64())
+}

@@ -11,8 +11,13 @@
 # 4. Runs the L1 lock-contention experiment (every internal/sync
 #    primitive×flavor cell swept over ptids, hold length, and SMT slots,
 #    plus the shard-determinism sweep) and records every row.
-# 5. Runs the repository testing.B benchmarks with -benchmem.
-# 6. Emits BENCH_5.json: per-experiment ns/op, B/op, allocs/op (plus
+# 5. Runs the SV1 serving sweep (multi-tier serving cells across load ×
+#    arrival × flavor, every cell byte-identical between the serial oracle
+#    and the sharded scheduler, overload cells shedding through the
+#    admission window) and records every cell. SERVE_QUICK=1 substitutes
+#    the CI-sized grid when the full 10^5-connection sweep is too slow.
+# 6. Runs the repository testing.B benchmarks with -benchmem.
+# 7. Emits BENCH_6.json: per-experiment ns/op, B/op, allocs/op (plus
 #    sim-instrs/op and sim-instrs/sec where a benchmark reports them), the
 #    wall times, the headline instructions_per_sec figure (sustained
 #    simulated-instruction rate from CoreInstructionRate), the
@@ -20,8 +25,9 @@
 #    serialize/restore throughput in MB/s and ns per checkpoint, from
 #    BenchmarkSnapshotEncode/BenchmarkSnapshotRestore), and the
 #    lock_contention block (acquire p50/p99, handoff, starvation, and
-#    fairness per cell), so the next hot-path PR starts from numbers, not
-#    guesses.
+#    fairness per cell), and the serving block (per-cell tail latency,
+#    goodput, and refusals from SV1), so the next hot-path PR starts from
+#    numbers, not guesses.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=1x (default) controls -benchtime; set e.g. BENCHTIME=2s for
@@ -30,7 +36,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_5.json}
+OUT=${1:-BENCH_6.json}
 BENCHTIME=${BENCHTIME:-1x}
 GOLDEN=results_full.txt
 TMP=$(mktemp -d)
@@ -113,6 +119,33 @@ END {
     printf "    ]\n  },\n"
 }' "$TMP/locks.txt" > "$TMP/locks.json"
 
+echo "== SV1 serving sweep: nocsim -serve =="
+SERVE_ARGS=(-serve)
+if [ "${SERVE_QUICK:-0}" = "1" ]; then
+    SERVE_ARGS+=(-quick)
+fi
+"$TMP/nocsim" "${SERVE_ARGS[@]}" > "$TMP/serve.txt"
+grep '^SV1 stats:' "$TMP/serve.txt" | sed 's/^/   /' | tail -6
+# Render the SV1 cells as the serving JSON block.
+awk '
+/^SV1 stats:/ {
+    row = ""
+    for (i = 3; i <= NF; i++) {
+        split($i, kv, "=")
+        v = kv[2]
+        if (kv[1] == "flavor" || kv[1] == "arrival" || kv[1] == "hash") v = "\"" v "\""
+        row = row (row == "" ? "" : ", ") "\"" kv[1] "\": " v
+    }
+    rows[nr++] = "      {" row "}"
+}
+END {
+    printf "  \"serving\": {\n"
+    printf "    \"determinism\": \"every cell byte-identical, serial oracle vs sharded\",\n"
+    printf "    \"cells\": [\n"
+    for (i = 0; i < nr; i++) printf "%s%s\n", rows[i], i < nr-1 ? "," : ""
+    printf "    ]\n  },\n"
+}' "$TMP/serve.txt" > "$TMP/serve.json"
+
 echo "== benchmarks (-benchmem -benchtime $BENCHTIME) =="
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$TMP/bench.txt"
 
@@ -121,7 +154,8 @@ awk -v wall_ms="$wall_ms" -v wall_par_ms="$wall_par_ms" \
     -v speedup="$speedup" -v scale_workers="$scale_workers" \
     -v scale_shards="$scale_shards" -v scale_cores="$scale_cores" \
     -v scale_serial_ms="$scale_serial_ms" -v scale_parallel_ms="$scale_parallel_ms" \
-    -v scale_ips="$scale_ips" -v lockjson="$TMP/locks.json" '
+    -v scale_ips="$scale_ips" -v lockjson="$TMP/locks.json" \
+    -v servejson="$TMP/serve.json" '
 BEGIN { n = 0; ips = "" }
 /^Benchmark/ && /ns\/op/ {
     name = $1
@@ -162,6 +196,7 @@ END {
         snap_res_mbs == "" ? "null" : snap_res_mbs, \
         snap_res_ns == "" ? "null" : snap_res_ns
     while ((getline lockline < lockjson) > 0) print lockline
+    while ((getline serveline < servejson) > 0) print serveline
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \

@@ -37,7 +37,12 @@
 #                        -endurance`): resuming from the last emitted
 #                        checkpoint must reproduce the straight-through
 #                        run's summary and hash exactly
-#  13. golden diff     — `nocsim -all` must be byte-identical to the
+#  13. serving smoke   — a CI-sized `nocsim -serve -quick` sweep, including
+#                        overload cells (load 1.3): RunServe fails
+#                        internally on any serial-vs-sharded byte
+#                        difference, conservation break, or if no overload
+#                        cell ever refused a request (DESIGN.md §15)
+#  14. golden diff     — `nocsim -all` must be byte-identical to the
 #                        committed results_full.txt (skip with SKIP_GOLDEN=1
 #                        when the caller performs its own golden run)
 #
@@ -128,6 +133,14 @@ h0=$(grep -o 'hash=[0-9a-f]*' "$TMP/e1.txt")
 h1=$(grep -o 'hash=[0-9a-f]*' "$TMP/e1_resume.txt")
 if [ -z "$h0" ] || [ "$h0" != "$h1" ]; then
     echo "FAIL: resume hash ${h1:-<none>} != straight-through hash ${h0:-<none>}" >&2
+    exit 1
+fi
+
+echo "== serving smoke: nocsim -serve -quick (sweep incl. overload cells) =="
+"$TMP/nocsim" -serve -quick > "$TMP/serve.txt"
+grep '^SV1 stats:' "$TMP/serve.txt" | sed 's/^/   /'
+if ! grep '^SV1 stats:' "$TMP/serve.txt" | grep -q 'load=1\.30'; then
+    echo "FAIL: serving smoke ran no overload cell" >&2
     exit 1
 fi
 
